@@ -1,0 +1,21 @@
+"""Ablation (§VI-C4 future work): round-robin vs size-balanced placement."""
+
+from repro.experiments.ablations import run_placement_ablation
+from repro.perfmodel.hardware import FRONTERA_LIKE, V100_LIKE
+from repro.perfmodel.iteration import IterationModel
+from repro.perfmodel.specs import resnet_spec
+
+from conftest import run_and_print
+
+
+def test_placement_policy_ablation(benchmark):
+    result = run_and_print(benchmark, run_placement_ablation)
+    # greedy LPT is never worse, and strictly better where imbalance exists
+    im = IterationModel(resnet_spec(101), V100_LIKE, FRONTERA_LIKE)
+    for p in (16, 32, 64):
+        rr = im.eig_stage_time(p, "comm-opt", "round_robin")
+        gr = im.eig_stage_time(p, "comm-opt", "greedy")
+        assert gr <= rr + 1e-12
+    assert im.eig_stage_time(16, "comm-opt", "greedy") < im.eig_stage_time(
+        16, "comm-opt", "round_robin"
+    )

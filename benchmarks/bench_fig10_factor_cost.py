@@ -1,0 +1,13 @@
+"""Paper Fig. 10: factor computation time vs model complexity."""
+
+from repro.experiments.profile_exp import run_fig10
+
+from conftest import run_and_print
+
+
+def test_fig10_factor_computation_superlinear(benchmark):
+    result = run_and_print(benchmark, run_fig10)
+    times = result.data["times_ms"]
+    params = result.data["params_m"]
+    assert times == sorted(times)
+    assert times[-1] / times[0] > params[-1] / params[0]

@@ -1,0 +1,13 @@
+"""Paper Fig. 5: ImageNet-like validation curves, K-FAC (55-style) vs SGD (90-style)."""
+
+from repro.experiments.correctness import run_fig5
+
+from conftest import run_and_print
+
+
+def test_fig5_imagenet_like_curves(benchmark):
+    result = run_and_print(benchmark, run_fig5, scale="tiny")
+    kx, ky = result.data["kfac_curve"]
+    sx, sy = result.data["sgd_curve"]
+    # K-FAC's epoch budget is the paper's 55:90 ratio of SGD's
+    assert len(kx) < len(sx)

@@ -1,0 +1,16 @@
+"""Paper Fig. 7: ResNet-50 time-to-solution, SGD vs K-FAC-lw vs K-FAC-opt."""
+
+from repro.experiments.scaling_exp import run_scaling_figure
+
+from conftest import run_and_print
+
+
+def test_fig7_resnet50_scaling(benchmark):
+    result = run_and_print(benchmark, run_scaling_figure, 50)
+    points = result.data["points"]
+    # paper: K-FAC-opt outperforms SGD by 17.7-25.2% at all scales
+    for pt in points:
+        assert 0.10 < pt.improvement_opt() < 0.35, f"@{pt.gpus}"
+    # paper: lw between (2.8-19.1% over SGD) except possibly the largest scale
+    for pt in points[:3]:
+        assert pt.kfac_opt_minutes < pt.kfac_lw_minutes < pt.sgd_minutes

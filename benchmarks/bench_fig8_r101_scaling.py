@@ -1,0 +1,13 @@
+"""Paper Fig. 8: ResNet-101 time-to-solution across scales."""
+
+from repro.experiments.scaling_exp import run_scaling_figure
+
+from conftest import run_and_print
+
+
+def test_fig8_resnet101_scaling(benchmark):
+    result = run_and_print(benchmark, run_scaling_figure, 101)
+    points = result.data["points"]
+    # paper: K-FAC-opt outperforms SGD by 9.7-19.5% on ResNet-101
+    for pt in points:
+        assert 0.05 < pt.improvement_opt() < 0.30, f"@{pt.gpus}"

@@ -1,0 +1,15 @@
+"""Paper Fig. 9: ResNet-152 time-to-solution — K-FAC-opt loses at 256 GPUs."""
+
+from repro.experiments.scaling_exp import run_scaling_figure
+
+from conftest import run_and_print
+
+
+def test_fig9_resnet152_scaling(benchmark):
+    result = run_and_print(benchmark, run_scaling_figure, 152)
+    points = result.data["points"]
+    # paper: 4.9-8.2% improvement up to 128 GPUs...
+    for pt in points[:4]:
+        assert pt.improvement_opt() > 0, f"@{pt.gpus}"
+    # ...and K-FAC-opt is SLOWER than SGD at 256 (the paper's -11.1%)
+    assert points[-1].improvement_opt() < 0

@@ -1,0 +1,75 @@
+"""Microbenchmarks of the hot kernels (real timing, multiple rounds).
+
+These are genuine pytest-benchmark measurements of the library's compute
+primitives: im2col, conv forward/backward, factor computation,
+eigendecomposition, eigen-basis preconditioning, and ring allreduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import ring_allreduce
+from repro.core.factors import conv2d_factor_A, conv2d_factor_G
+from repro.core.inverse import eigendecompose, precondition_eigen
+from repro.nn.layers import Conv2d
+from repro.tensor.im2col import im2col
+
+RNG = np.random.default_rng(0)
+
+
+def test_im2col_kernel(benchmark):
+    x = RNG.normal(size=(16, 16, 16, 16)).astype(np.float32)
+    benchmark(im2col, x, (3, 3), (1, 1), (1, 1))
+
+
+def test_conv_forward(benchmark):
+    conv = Conv2d(16, 32, 3, padding=1, rng=RNG)
+    x = RNG.normal(size=(8, 16, 16, 16)).astype(np.float32)
+    benchmark(conv.forward, x)
+
+
+def test_conv_backward(benchmark):
+    conv = Conv2d(16, 32, 3, padding=1, rng=RNG)
+    x = RNG.normal(size=(8, 16, 16, 16)).astype(np.float32)
+    out = conv.forward(x)
+    g = RNG.normal(size=out.shape).astype(np.float32)
+
+    def run():
+        conv.zero_grad()
+        return conv.backward(g)
+
+    benchmark(run)
+
+
+def test_conv_factor_A(benchmark):
+    x = RNG.normal(size=(16, 16, 12, 12)).astype(np.float32)
+    benchmark(conv2d_factor_A, x, (3, 3), (1, 1), (1, 1), False)
+
+
+def test_conv_factor_G(benchmark):
+    g = RNG.normal(size=(16, 32, 12, 12)).astype(np.float32)
+    benchmark(conv2d_factor_G, g)
+
+
+@pytest.mark.parametrize("dim", [64, 256])
+def test_eigendecomposition(benchmark, dim):
+    m = RNG.normal(size=(dim, dim)).astype(np.float32)
+    factor = m @ m.T / dim
+    benchmark(eigendecompose, factor)
+
+
+def test_precondition_eigen(benchmark):
+    a = RNG.normal(size=(144, 144)).astype(np.float32)
+    g = RNG.normal(size=(64, 64)).astype(np.float32)
+    eig_a = eigendecompose(a @ a.T / 144)
+    eig_g = eigendecompose(g @ g.T / 64)
+    grad = RNG.normal(size=(64, 144)).astype(np.float32)
+    benchmark(precondition_eigen, grad, eig_a, eig_g, 0.01)
+
+
+@pytest.mark.parametrize("world", [2, 8])
+def test_ring_allreduce(benchmark, world):
+    bufs = [RNG.normal(size=65536).astype(np.float32) for _ in range(world)]
+    benchmark(ring_allreduce, bufs)

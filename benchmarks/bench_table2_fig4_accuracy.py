@@ -1,0 +1,13 @@
+"""Paper Table II + Fig. 4: K-FAC vs SGD accuracy across worker counts."""
+
+from repro.experiments.correctness import run_table2_fig4
+
+from conftest import run_and_print
+
+
+def test_table2_fig4_worker_scaling(benchmark):
+    result = run_and_print(
+        benchmark, run_table2_fig4, scale="tiny", worker_counts=(1, 2, 4)
+    )
+    assert len(result.data["sgd"]) == 3
+    assert len(result.data["kfac"]) == 3

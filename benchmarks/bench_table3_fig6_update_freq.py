@@ -1,0 +1,15 @@
+"""Paper Table III + Fig. 6: accuracy & modeled time vs K-FAC update frequency."""
+
+from repro.experiments.update_freq import run_table3_fig6
+
+from conftest import run_and_print
+
+
+def test_table3_fig6_update_frequency(benchmark):
+    result = run_and_print(
+        benchmark, run_table3_fig6, scale="tiny", intervals=(2, 10)
+    )
+    # modeled time decreases as the interval grows (staleness trade-off)
+    for row in result.data["modeled_minutes"].values():
+        kfac_times = [float(v) for v in row[1:]]
+        assert kfac_times == sorted(kfac_times, reverse=True)

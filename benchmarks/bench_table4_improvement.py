@@ -1,0 +1,15 @@
+"""Paper Table IV: K-FAC-opt improvement over SGD, models x scales."""
+
+from repro.experiments.scaling_exp import run_table4
+
+from conftest import run_and_print
+
+
+def test_table4_improvement_matrix(benchmark):
+    result = run_and_print(benchmark, run_table4)
+    table = result.data["model"]
+    # improvement decreases with model depth at every scale
+    for i in range(5):
+        assert table[50][i] > table[101][i] > table[152][i]
+    # negative corner reproduced
+    assert table[152][-1] < 0

@@ -1,0 +1,22 @@
+"""Paper Table V: factor & eigendecomposition stage time profile."""
+
+from repro.experiments.profile_exp import run_table5
+from repro.perfmodel.hardware import FRONTERA_LIKE, V100_LIKE
+from repro.perfmodel.iteration import IterationModel
+from repro.perfmodel.specs import resnet_spec
+
+from conftest import run_and_print
+
+
+def test_table5_stage_profile(benchmark):
+    result = run_and_print(benchmark, run_table5)
+    # shape criteria from the paper's measurements:
+    for depth in (50, 101, 152):
+        im = IterationModel(resnet_spec(depth), V100_LIKE, FRONTERA_LIKE)
+        # factor compute constant in GPU count
+        assert im.factor_compute_time() == im.factor_compute_time()
+        # eig compute decreases with GPU count
+        assert im.eig_stage_time(16, "comm-opt") >= im.eig_stage_time(64, "comm-opt")
+        # comm roughly flat across scales (within 10%)
+        c16, c64 = im.factor_comm_time(16), im.factor_comm_time(64)
+        assert abs(c64 - c16) / c16 < 0.10

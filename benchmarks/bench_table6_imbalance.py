@@ -1,0 +1,16 @@
+"""Paper Table VI: min/max eigendecomposition worker speedup (imbalance)."""
+
+from repro.experiments.profile_exp import run_table6
+from repro.perfmodel.scaling import worker_speedup_table
+
+from conftest import run_and_print
+
+
+def test_table6_worker_speedup(benchmark):
+    result = run_and_print(benchmark, run_table6)
+    for depth in (50, 101, 152):
+        speedups = worker_speedup_table(depth)
+        mn64, mx64 = speedups[64]
+        # fastest workers speed up far more than the slowest (paper:
+        # 6.18-8.27x vs 1.26-1.85x going 16 -> 64)
+        assert mx64 / mn64 > 3.0, f"ResNet-{depth}"

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""ImageNet-scale scaling study (paper Figs. 7-9, Table IV).
+
+Projects time-to-solution for SGD (90 epochs), K-FAC-lw and K-FAC-opt
+(55 epochs) on ResNet-50/101/152 across 16-256 GPUs using the calibrated
+performance model over the real layer shapes, and prints the improvement
+matrix next to the paper's reported numbers.
+
+Run:  python examples/imagenet_scaling_study.py [--depths 50 101 152]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.scaling_exp import run_scaling_figure, run_table4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--depths", type=int, nargs="+", default=[50, 101, 152])
+    args = parser.parse_args()
+
+    for depth in args.depths:
+        print(run_scaling_figure(depth).render())
+        print()
+    print(run_table4().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Listing 1 on a simulated 4-worker world.
+
+Each simulated worker runs the exact integration pattern the paper ships::
+
+    optimizer = SGD(model.parameters(), ...)
+    optimizer = DistributedOptimizer(optimizer, ...)   # Horovod wrapper
+    preconditioner = KFAC(model, ...)
+    ...
+    loss.backward()
+    optimizer.synchronize()          # average gradients across workers
+    preconditioner.step()            # K-FAC preconditions averaged grads
+    with optimizer.skip_synchronize():
+        optimizer.step()             # SGD applies the update
+
+Workers are threads communicating through matched named collectives
+(ring allreduce / allgather), so this exercises the real distributed code
+path of Algorithm 1, strategy K-FAC-opt.
+
+Run:  python examples/quickstart.py [--workers 4] [--steps 30]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.comm.backend import World
+from repro.comm.horovod import DistributedOptimizer, HorovodContext
+from repro.core.distributed import SPMDDriver
+from repro.core.preconditioner import KFAC
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.metrics import topk_accuracy
+from repro.nn.resnet import resnet20_cifar
+from repro.optim.sgd import SGD
+from repro.parallel.sharding import shard_indices
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--steps", type=int, default=30)
+    parser.add_argument("--batch", type=int, default=16, help="per-worker batch size")
+    parser.add_argument("--lr", type=float, default=0.2)
+    args = parser.parse_args()
+
+    dataset = SyntheticImageDataset(
+        SyntheticSpec(n_train=640, n_val=256, num_classes=4, image_size=10,
+                      channels=3, noise=0.6, seed=1)
+    )
+    tx, ty, vx, vy = dataset.splits
+    world = World(args.workers)
+
+    def worker(view) -> float:
+        hvd = HorovodContext(view)
+        model = resnet20_cifar(np.random.default_rng(0), width_multiplier=0.25,
+                               num_classes=4)
+        hvd.broadcast_parameters(model)  # identical initial weights
+
+        optimizer = SGD(model.parameters(), lr=args.lr, momentum=0.9)
+        optimizer = DistributedOptimizer(optimizer, hvd, model.named_parameters())
+        preconditioner = KFAC(
+            model, rank=hvd.rank(), world_size=hvd.size(),
+            lr=args.lr, damping=0.003, fac_update_freq=1, kfac_update_freq=5,
+        )
+        driver = SPMDDriver(preconditioner, hvd)
+        criterion = CrossEntropyLoss(label_smoothing=0.1)
+
+        indices = shard_indices(len(tx), hvd.size(), hvd.rank(), seed=0, epoch=0)
+        for step in range(args.steps):
+            lo = (step * args.batch) % max(1, len(indices) - args.batch)
+            idx = indices[lo : lo + args.batch]
+            optimizer.zero_grad()
+            output = model(tx[idx])
+            loss = criterion(output, ty[idx])
+            model.backward(criterion.backward())
+
+            optimizer.synchronize()
+            driver.step()  # preconditioner.step() across the world
+            with optimizer.skip_synchronize():
+                optimizer.step()
+
+            if hvd.rank() == 0 and step % 5 == 0:
+                print(f"step {step:3d}  loss {loss:.4f}")
+
+        model.eval()
+        accuracy = topk_accuracy(model(vx), vy)
+        # checksum of trainable parameters (BatchNorm running statistics are
+        # legitimately rank-local, as in real Horovod training)
+        checksum = float(sum(abs(p.data).sum() for p in model.parameters()))
+        return accuracy, checksum
+
+    results = world.run_spmd(worker, timeout=600)
+    accuracies = [acc for acc, _ in results]
+    checksums = [cs for _, cs in results]
+    print(f"\nfinal validation accuracy per worker replica: "
+          f"{[f'{a:.3f}' for a in accuracies]}")
+    print(f"communication time by phase (simulated): "
+          f"{ {k: f'{v*1e3:.2f}ms' for k, v in world.timers.as_dict().items()} }")
+    assert max(checksums) - min(checksums) < 1e-3 * max(checksums), "replicas diverged!"
+    print("replica parameters stayed in sync — distributed K-FAC is consistent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed editable in offline environments that lack the
+``wheel`` package (``pip install -e . --no-build-isolation`` falls back to
+``setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

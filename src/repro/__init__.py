@@ -1,0 +1,56 @@
+"""repro — reproduction of *Convolutional Neural Network Training with
+Distributed K-FAC* (Pauloski, Zhang, Huang, Xu, Foster; SC 2020).
+
+The package is organised bottom-up:
+
+- :mod:`repro.tensor` / :mod:`repro.nn` — a from-scratch numpy neural network
+  framework with the layer hooks K-FAC needs (activations and output grads).
+- :mod:`repro.comm` — a simulated Horovod-like communication substrate with
+  ring collectives, async handles, fusion buffers, and an alpha-beta cost
+  model.
+- :mod:`repro.parallel` — synchronous data-parallel training (Fig. 1 of the
+  paper).
+- :mod:`repro.core` — the paper's contribution: the distributed K-FAC
+  gradient preconditioner (Algorithm 1), with both the layer-wise (K-FAC-lw)
+  and optimized (K-FAC-opt) distribution strategies.
+- :mod:`repro.perfmodel` — calibrated performance model used to regenerate
+  the paper's scaling tables/figures from real ResNet-50/101/152 shapes.
+- :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+from repro.version import __version__
+
+
+def __getattr__(name: str):
+    """Lazily re-export the most-used entry points at package top level.
+
+    Lazy so that ``import repro`` stays fast and the subpackages keep no
+    import-order constraints.
+    """
+    top_level = {
+        "KFAC": ("repro.core.preconditioner", "KFAC"),
+        "KFACHyperParams": ("repro.core.preconditioner", "KFACHyperParams"),
+        "KFACParamScheduler": ("repro.core.schedule", "KFACParamScheduler"),
+        "SGD": ("repro.optim.sgd", "SGD"),
+        "World": ("repro.comm.backend", "World"),
+        "DataParallelTrainer": ("repro.parallel.trainer", "DataParallelTrainer"),
+        "TrainerConfig": ("repro.parallel.trainer", "TrainerConfig"),
+    }
+    if name in top_level:
+        import importlib
+
+        module, attr = top_level[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = [
+    "__version__",
+    "KFAC",
+    "KFACHyperParams",
+    "KFACParamScheduler",
+    "SGD",
+    "World",
+    "DataParallelTrainer",
+    "TrainerConfig",
+]

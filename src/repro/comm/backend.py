@@ -1,0 +1,300 @@
+"""The simulated communication world.
+
+Two usage styles, sharing the same collective algorithms and cost model:
+
+1. **Phase-style (synchronous)** — the caller holds all ranks' buffers and
+   invokes ``world.allreduce([buf_0, ..., buf_{p-1}])``.  Deterministic and
+   fast; used by the data-parallel trainer and the distributed K-FAC
+   implementation.
+
+2. **SPMD-style (threaded)** — ``world.run_spmd(program)`` launches one
+   thread per rank; each thread's :class:`RankView` offers *blocking*
+   ``allreduce``/``allgather``/``broadcast``/``barrier`` calls matched by
+   operation name, exactly like Horovod ops are matched by tensor name.
+   Mismatched or missing posts raise :class:`DeadlockError` instead of
+   hanging forever.
+
+Every collective charges simulated seconds (from
+:mod:`repro.comm.costmodel`) and payload bytes to per-phase accounting, so
+experiments can report the communication profile the paper shows in
+Table V.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.comm.collectives import (
+    binomial_broadcast,
+    ring_allgather,
+    ring_allreduce,
+    ring_reduce_scatter,
+)
+from repro.comm.costmodel import (
+    EDR_LIKE,
+    NetworkProfile,
+    allgather_time,
+    allreduce_time,
+    broadcast_time,
+    reduce_scatter_time,
+)
+from repro.utils.timer import TimerRegistry
+
+__all__ = ["World", "RankView", "DeadlockError", "CommStats"]
+
+
+class DeadlockError(RuntimeError):
+    """Raised when a matched collective cannot complete (missing ranks)."""
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication accounting for one world."""
+
+    bytes_by_phase: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    ops_by_phase: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, phase: str, nbytes: float) -> None:
+        self.bytes_by_phase[phase] += nbytes
+        self.ops_by_phase[phase] += 1
+
+    def total_bytes(self) -> float:
+        return sum(self.bytes_by_phase.values())
+
+    def total_ops(self) -> int:
+        return sum(self.ops_by_phase.values())
+
+
+class World:
+    """A simulated set of ``size`` communicating workers."""
+
+    def __init__(self, size: int, net: NetworkProfile = EDR_LIKE) -> None:
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.net = net
+        self.timers = TimerRegistry()
+        self.stats = CommStats()
+        # SPMD matching state
+        self._lock = threading.Condition()
+        self._pending: dict[str, dict[int, np.ndarray]] = {}
+        self._results: dict[str, list[Any]] = {}
+        self._consumed: dict[str, int] = {}
+        self._op_meta: dict[str, tuple[str, Any]] = {}
+        # per (kind, name, rank) repost counter so op names can be reused
+        # across iterations without racing slow consumers
+        self._generation: dict[tuple[str, str, int], int] = {}
+        self._spmd_failed: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # phase-style synchronous API
+    # ------------------------------------------------------------------
+    def _charge(self, phase: str, seconds: float, nbytes: float) -> None:
+        self.timers.charge(phase, seconds)
+        self.stats.record(phase, nbytes)
+
+    def allreduce(
+        self,
+        buffers: Sequence[np.ndarray],
+        op: str = "average",
+        phase: str = "allreduce",
+    ) -> list[np.ndarray]:
+        """Ring-allreduce per-rank buffers; ``op`` is ``"sum"`` or ``"average"``."""
+        bufs = list(buffers)
+        if len(bufs) != self.size:
+            raise ValueError(f"expected {self.size} buffers, got {len(bufs)}")
+        nbytes = bufs[0].nbytes
+        out = ring_allreduce(bufs)
+        if op == "average":
+            out = [o / self.size for o in out]
+        elif op != "sum":
+            raise ValueError(f"unknown reduction op {op!r}")
+        self._charge(phase, allreduce_time(nbytes, self.size, self.net), nbytes)
+        return out
+
+    def allgather(
+        self, contributions: Sequence[np.ndarray], phase: str = "allgather"
+    ) -> list[list[np.ndarray]]:
+        """Ring-allgather per-rank tensors (shapes may differ across ranks)."""
+        contribs = list(contributions)
+        if len(contribs) != self.size:
+            raise ValueError(f"expected {self.size} contributions, got {len(contribs)}")
+        total = float(sum(c.nbytes for c in contribs))
+        out = ring_allgather(contribs)
+        self._charge(phase, allgather_time(total, self.size, self.net), total)
+        return out
+
+    def broadcast(
+        self, value: np.ndarray, root: int = 0, phase: str = "broadcast"
+    ) -> list[np.ndarray]:
+        """Binomial broadcast from ``root``; returns one copy per rank."""
+        out = binomial_broadcast(value, self.size, root)
+        self._charge(phase, broadcast_time(value.nbytes, self.size, self.net), value.nbytes)
+        return out
+
+    def reduce_scatter(
+        self, buffers: Sequence[np.ndarray], phase: str = "reduce_scatter"
+    ) -> list[np.ndarray]:
+        """Ring reduce-scatter; rank ``r`` receives summed chunk ``r``."""
+        bufs = list(buffers)
+        if len(bufs) != self.size:
+            raise ValueError(f"expected {self.size} buffers, got {len(bufs)}")
+        nbytes = bufs[0].nbytes
+        out = ring_reduce_scatter(bufs)
+        self._charge(phase, reduce_scatter_time(nbytes, self.size, self.net), nbytes)
+        return out
+
+    # ------------------------------------------------------------------
+    # SPMD-style threaded API
+    # ------------------------------------------------------------------
+    def run_spmd(
+        self,
+        program: Callable[["RankView"], Any],
+        timeout: float = 60.0,
+    ) -> list[Any]:
+        """Run ``program(rank_view)`` on every rank in its own thread.
+
+        Returns the per-rank return values.  Any exception in any rank is
+        re-raised in the caller (other ranks are unblocked and drained).
+        """
+        results: list[Any] = [None] * self.size
+        errors: list[BaseException | None] = [None] * self.size
+
+        def runner(r: int) -> None:
+            try:
+                results[r] = program(RankView(self, r, timeout))
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                errors[r] = exc
+                with self._lock:
+                    if self._spmd_failed is None:
+                        self._spmd_failed = exc
+                    self._lock.notify_all()
+
+        threads = [threading.Thread(target=runner, args=(r,), daemon=True) for r in range(self.size)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout * 2)
+            if t.is_alive():  # pragma: no cover - defensive
+                with self._lock:
+                    self._spmd_failed = DeadlockError("rank thread failed to terminate")
+                    self._lock.notify_all()
+                raise DeadlockError("SPMD program did not terminate (deadlock?)")
+        self._spmd_failed = None
+        first_error = next((e for e in errors if e is not None), None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def _post_matched(
+        self,
+        kind: str,
+        name: str,
+        rank: int,
+        tensor: np.ndarray,
+        meta: Any,
+        timeout: float,
+    ) -> Any:
+        """Post one rank's contribution to a named op; blocks until matched."""
+        with self._lock:
+            gen = self._generation.get((kind, name, rank), 0)
+            self._generation[(kind, name, rank)] = gen + 1
+            key = f"{kind}:{name}#{gen}"
+            if key in self._op_meta:
+                prev_kind, prev_meta = self._op_meta[key]
+                if prev_kind != kind or prev_meta != meta:
+                    raise DeadlockError(
+                        f"op {name!r}: rank {rank} posted {kind}/{meta}, "
+                        f"but op was registered as {prev_kind}/{prev_meta}"
+                    )
+            else:
+                self._op_meta[key] = (kind, meta)
+            pending = self._pending.setdefault(key, {})
+            if rank in pending:
+                raise DeadlockError(f"op {name!r}: rank {rank} posted twice")
+            pending[rank] = tensor
+            if len(pending) == self.size:
+                ordered = [pending[r] for r in range(self.size)]
+                self._results[key] = self._execute(kind, ordered, meta)
+                self._consumed[key] = 0
+                self._lock.notify_all()
+            else:
+                deadline = threading.TIMEOUT_MAX if timeout is None else timeout
+                while key not in self._results:
+                    if self._spmd_failed is not None:
+                        raise DeadlockError(
+                            f"op {name!r} aborted: another rank failed "
+                            f"({type(self._spmd_failed).__name__})"
+                        )
+                    if not self._lock.wait(timeout=deadline):
+                        missing = [r for r in range(self.size) if r not in pending]
+                        raise DeadlockError(
+                            f"op {name!r} timed out waiting for ranks {missing}"
+                        )
+            result = self._results[key][rank]
+            self._consumed[key] += 1
+            if self._consumed[key] == self.size:
+                # whole op consumed: clear so the name can be reused next iter
+                del self._results[key]
+                del self._pending[key]
+                del self._consumed[key]
+                del self._op_meta[key]
+            return result
+
+    def _execute(self, kind: str, ordered: list[np.ndarray], meta: Any) -> list[Any]:
+        if kind == "allreduce":
+            return self.allreduce(ordered, op=meta[0], phase=meta[1])
+        if kind == "allgather":
+            return self.allgather(ordered, phase=meta[1])
+        if kind == "broadcast":
+            root = meta[0]
+            return self.broadcast(ordered[root], root=root, phase=meta[1])
+        if kind == "barrier":
+            return [None] * self.size
+        raise ValueError(f"unknown collective kind {kind!r}")
+
+
+class RankView:
+    """One rank's blocking view of the world (SPMD style)."""
+
+    def __init__(self, world: World, rank: int, timeout: float = 60.0) -> None:
+        self.world = world
+        self.rank = rank
+        self.timeout = timeout
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    def allreduce(
+        self, tensor: np.ndarray, name: str, op: str = "average", phase: str = "allreduce"
+    ) -> np.ndarray:
+        """Blocking named allreduce (matched across ranks by ``name``)."""
+        return self.world._post_matched(
+            "allreduce", name, self.rank, tensor, (op, phase), self.timeout
+        )
+
+    def allgather(self, tensor: np.ndarray, name: str, phase: str = "allgather") -> list[np.ndarray]:
+        """Blocking named allgather; returns all ranks' contributions."""
+        return self.world._post_matched(
+            "allgather", name, self.rank, tensor, (None, phase), self.timeout
+        )
+
+    def broadcast(
+        self, tensor: np.ndarray, name: str, root: int = 0, phase: str = "broadcast"
+    ) -> np.ndarray:
+        """Blocking named broadcast from ``root``."""
+        return self.world._post_matched(
+            "broadcast", name, self.rank, tensor, (root, phase), self.timeout
+        )
+
+    def barrier(self, name: str = "barrier") -> None:
+        """Block until every rank reaches the barrier."""
+        self.world._post_matched(
+            "barrier", name, self.rank, np.zeros(0, dtype=np.float32), (None, "barrier"), self.timeout
+        )

@@ -1,0 +1,171 @@
+"""Data-moving collective algorithms over per-rank numpy buffers.
+
+These functions take a list of arrays — element ``r`` being rank ``r``'s
+local buffer — and return the per-rank results, having *actually executed*
+the distributed algorithm's data movement step by step.  That makes the
+substrate testable at the bit level (e.g. the ring allreduce really
+performs the reduce-scatter + allgather phases, with the same chunking and
+summation order a real ring would use, so floating-point non-associativity
+behaves like the real thing).
+
+Reduction-op note: ``ring_allreduce`` computes the *sum*; callers divide by
+world size for Horovod's default average semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ring_allreduce",
+    "ring_reduce_scatter",
+    "ring_allgather",
+    "binomial_broadcast",
+    "chunk_bounds",
+]
+
+
+def _validate(buffers: list[np.ndarray]) -> int:
+    if not buffers:
+        raise ValueError("no rank buffers supplied")
+    shape = buffers[0].shape
+    dtype = buffers[0].dtype
+    for r, b in enumerate(buffers):
+        if b.shape != shape:
+            raise ValueError(f"rank {r} buffer shape {b.shape} != rank 0 shape {shape}")
+        if b.dtype != dtype:
+            raise ValueError(f"rank {r} buffer dtype {b.dtype} != rank 0 dtype {dtype}")
+    return len(buffers)
+
+
+def chunk_bounds(n: int, p: int) -> list[tuple[int, int]]:
+    """Split ``n`` elements into ``p`` contiguous chunks (first chunks larger).
+
+    Matches the standard ring-allreduce chunking: chunk ``i`` has
+    ``ceil`` size for ``i < n % p`` and ``floor`` size otherwise.
+    """
+    base, extra = divmod(n, p)
+    bounds = []
+    start = 0
+    for i in range(p):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    assert start == n
+    return bounds
+
+
+def ring_reduce_scatter(buffers: list[np.ndarray]) -> list[np.ndarray]:
+    """Ring reduce-scatter: rank ``r`` ends up with the summed chunk ``r``.
+
+    Returns a list of 1-D arrays (rank ``r``'s owned chunk of the sum).
+    Input buffers are not modified.
+    """
+    p = _validate(buffers)
+    flats = [b.reshape(-1).copy() for b in buffers]
+    n = flats[0].size
+    bounds = chunk_bounds(n, p)
+    if p == 1:
+        return [flats[0]]
+    # Step s: rank r sends chunk (r - s) to rank (r + 1), receives chunk
+    # (r - s - 1) from rank (r - 1) and accumulates into its local copy.
+    for step in range(p - 1):
+        incoming = []
+        for r in range(p):
+            src = (r - 1) % p
+            chunk_id = (r - step - 1) % p
+            lo, hi = bounds[chunk_id]
+            incoming.append((r, chunk_id, flats[src][lo:hi].copy()))
+        for r, chunk_id, data in incoming:
+            lo, hi = bounds[chunk_id]
+            flats[r][lo:hi] += data
+    out = []
+    for r in range(p):
+        lo, hi = bounds[(r + 1) % p]
+        out.append(flats[r][lo:hi].copy())
+    return out
+
+
+def ring_allreduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
+    """Full ring allreduce (reduce-scatter + allgather).  Returns the *sum*
+    on every rank, with the original shape."""
+    p = _validate(buffers)
+    shape = buffers[0].shape
+    if p == 1:
+        return [buffers[0].copy()]
+    n = buffers[0].size
+    bounds = chunk_bounds(n, p)
+    owned = ring_reduce_scatter(buffers)
+    # allgather phase: circulate owned chunks around the ring.
+    results = [np.empty(n, dtype=buffers[0].dtype) for _ in range(p)]
+    for r in range(p):
+        lo, hi = bounds[(r + 1) % p]
+        results[r][lo:hi] = owned[r]
+    for step in range(p - 1):
+        moves = []
+        for r in range(p):
+            src = (r - 1) % p
+            chunk_id = (src - step + 1) % p
+            lo, hi = bounds[chunk_id]
+            moves.append((r, lo, hi, results[src][lo:hi].copy()))
+        for r, lo, hi, data in moves:
+            results[r][lo:hi] = data
+    return [res.reshape(shape) for res in results]
+
+
+def ring_allgather(contributions: list[np.ndarray]) -> list[list[np.ndarray]]:
+    """Ring allgather of (possibly differently-shaped) per-rank tensors.
+
+    Returns, for each rank, the full list ``[contribution_0, ...,
+    contribution_{p-1}]``.  Data circulates around the ring in ``p - 1``
+    steps, as Horovod's allgather does (after its shape-negotiation phase,
+    which we model as metadata exchange with no payload).
+    """
+    p = len(contributions)
+    if p == 0:
+        raise ValueError("no rank contributions supplied")
+    # gathered[r][i] is rank r's copy of rank i's contribution (or None).
+    gathered: list[list[np.ndarray | None]] = [[None] * p for _ in range(p)]
+    for r in range(p):
+        gathered[r][r] = contributions[r].copy()
+    for step in range(p - 1):
+        moves = []
+        for r in range(p):
+            src = (r - 1) % p
+            item_id = (src - step) % p
+            data = gathered[src][item_id]
+            assert data is not None, "ring allgather schedule violated"
+            moves.append((r, item_id, data.copy()))
+        for r, item_id, data in moves:
+            gathered[r][item_id] = data
+    out: list[list[np.ndarray]] = []
+    for r in range(p):
+        row = gathered[r]
+        assert all(x is not None for x in row)
+        out.append([x for x in row if x is not None])
+    return out
+
+
+def binomial_broadcast(value: np.ndarray, p: int, root: int = 0) -> list[np.ndarray]:
+    """Binomial-tree broadcast of ``value`` from ``root`` to ``p`` ranks.
+
+    Returns one (independent) copy per rank.  The tree structure only
+    matters for cost accounting; data-wise every rank receives an exact
+    copy.
+    """
+    if p < 1:
+        raise ValueError(f"world size must be >= 1, got {p}")
+    if not 0 <= root < p:
+        raise ValueError(f"root {root} out of range for world size {p}")
+    # Recursive-doubling schedule over virtual ranks (actual - root) mod p:
+    # in round k every rank v < 2^k sends to v + 2^k.  Executed here only to
+    # assert the schedule covers all ranks; payload-wise each rank gets a
+    # private copy.  Cost accounting lives in costmodel.broadcast_time.
+    have = {0}
+    offset = 1
+    while offset < p:
+        for v in [v for v in have if v + offset < p]:
+            have.add(v + offset)
+        offset *= 2
+    assert len(have) == p, "broadcast schedule failed to cover all ranks"
+    return [value.copy() for _ in range(p)]

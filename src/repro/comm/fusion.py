@@ -1,0 +1,91 @@
+"""Horovod-style tensor fusion buffer.
+
+Horovod accumulates small tensors into a 16–32 MB fusion buffer and issues
+one allreduce per full buffer "to guarantee that each allreduce() is
+bandwidth dominated" (§II-D).  This class reproduces that batching for the
+phase-style world: callers ``add`` named per-rank tensor groups; once the
+accumulated payload reaches capacity the buffer flushes as a *single*
+fused ring allreduce (one latency charge instead of one per tensor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.backend import World
+
+__all__ = ["FusionBuffer"]
+
+
+class FusionBuffer:
+    """Accumulate named tensors and allreduce them in fused batches."""
+
+    def __init__(
+        self,
+        world: World,
+        capacity_bytes: int = 16 << 20,
+        op: str = "average",
+        phase: str = "fused_allreduce",
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.world = world
+        self.capacity_bytes = capacity_bytes
+        self.op = op
+        self.phase = phase
+        self._entries: list[tuple[str, list[np.ndarray]]] = []
+        self._pending_bytes = 0
+        self._results: dict[str, list[np.ndarray]] = {}
+        self.flush_count = 0
+
+    def add(self, name: str, per_rank_tensors: list[np.ndarray]) -> None:
+        """Queue one named tensor group (one tensor per rank) for reduction."""
+        if len(per_rank_tensors) != self.world.size:
+            raise ValueError(
+                f"{name!r}: expected {self.world.size} tensors, got {len(per_rank_tensors)}"
+            )
+        if name in self._results or any(n == name for n, _ in self._entries):
+            raise ValueError(f"duplicate tensor name {name!r} in fusion buffer")
+        shape = per_rank_tensors[0].shape
+        for r, t in enumerate(per_rank_tensors):
+            if t.shape != shape:
+                raise ValueError(f"{name!r}: rank {r} shape {t.shape} != {shape}")
+        self._entries.append((name, list(per_rank_tensors)))
+        self._pending_bytes += per_rank_tensors[0].nbytes
+        if self._pending_bytes >= self.capacity_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Fuse all queued tensors into one flat allreduce and scatter results."""
+        if not self._entries:
+            return
+        names = [n for n, _ in self._entries]
+        shapes = [tensors[0].shape for _, tensors in self._entries]
+        sizes = [int(np.prod(s)) if s else 1 for s in shapes]
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        fused = [
+            np.concatenate([tensors[r].reshape(-1) for _, tensors in self._entries])
+            for r in range(self.world.size)
+        ]
+        reduced = self.world.allreduce(fused, op=self.op, phase=self.phase)
+        for i, name in enumerate(names):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            self._results[name] = [r[lo:hi].reshape(shapes[i]).copy() for r in reduced]
+        self._entries.clear()
+        self._pending_bytes = 0
+        self.flush_count += 1
+
+    def pop(self, name: str) -> list[np.ndarray]:
+        """Return (and forget) the reduced per-rank results for ``name``.
+
+        Flushes first if the tensor is still queued.
+        """
+        if name not in self._results:
+            self.flush()
+        if name not in self._results:
+            raise KeyError(f"tensor {name!r} was never added to the fusion buffer")
+        return self._results.pop(name)
+
+    @property
+    def pending_bytes(self) -> int:
+        return self._pending_bytes

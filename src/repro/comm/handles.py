@@ -1,0 +1,58 @@
+"""Asynchronous operation handles.
+
+Horovod returns handles from ``allreduce_async_`` that are resolved by
+``synchronize()``.  In the simulated world a handle either already carries
+its result (phase-style execution) or defers a blocking matched post until
+``wait()`` (SPMD style) — either way callers observe Horovod's
+register-then-synchronize pattern (§V-A: "handles are registered to
+communication operations ... and wait to do the communication in batches").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, TypeVar
+
+__all__ = ["Handle", "ImmediateHandle", "DeferredHandle"]
+
+T = TypeVar("T")
+
+
+class Handle(Generic[T]):
+    """Abstract async-op handle."""
+
+    def done(self) -> bool:
+        raise NotImplementedError
+
+    def wait(self) -> T:
+        raise NotImplementedError
+
+
+class ImmediateHandle(Handle[T]):
+    """A handle whose result is already available."""
+
+    def __init__(self, result: T) -> None:
+        self._result = result
+
+    def done(self) -> bool:
+        return True
+
+    def wait(self) -> T:
+        return self._result
+
+
+class DeferredHandle(Handle[T]):
+    """A handle that runs ``fn`` on first ``wait()`` and caches the result."""
+
+    def __init__(self, fn: Callable[[], T]) -> None:
+        self._fn = fn
+        self._done = False
+        self._result: Any = None
+
+    def done(self) -> bool:
+        return self._done
+
+    def wait(self) -> T:
+        if not self._done:
+            self._result = self._fn()
+            self._done = True
+        return self._result

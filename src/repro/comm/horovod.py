@@ -1,0 +1,144 @@
+"""Horovod-flavoured per-rank frontend.
+
+Gives SPMD rank programs the API surface the paper's Listing 1 uses::
+
+    hvd = HorovodContext(view)                     # ~ hvd.init()
+    hvd.broadcast_parameters(model)                # sync initial weights
+    opt = SGD(model.parameters(), lr=...)
+    opt = DistributedOptimizer(opt, hvd, model.named_parameters())
+    ...
+    loss.backward()
+    opt.synchronize()                              # grads averaged here
+    preconditioner.step()                          # K-FAC on averaged grads
+    with opt.skip_synchronize():
+        opt.step()
+
+``DistributedOptimizer`` mirrors Horovod's contract: gradients are averaged
+across ranks on ``synchronize()`` (or implicitly in ``step()`` if the user
+never synchronized), and ``skip_synchronize()`` suppresses the implicit
+reduction after an explicit one — exactly the dance Listing 1 performs so
+K-FAC preconditions *averaged* gradients.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.comm.backend import RankView
+from repro.comm.handles import DeferredHandle, Handle
+from repro.nn.module import Module, Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["Average", "Sum", "HorovodContext", "DistributedOptimizer"]
+
+#: reduction-op constants, mirroring ``horovod.torch.Average`` / ``Sum``
+Average = "average"
+Sum = "sum"
+
+
+class HorovodContext:
+    """Per-rank communication API bound to a :class:`RankView`."""
+
+    def __init__(self, view: RankView) -> None:
+        self._view = view
+
+    def rank(self) -> int:
+        return self._view.rank
+
+    def size(self) -> int:
+        return self._view.size
+
+    def allreduce(
+        self, tensor: np.ndarray, name: str, op: str = Average, phase: str = "allreduce"
+    ) -> np.ndarray:
+        """Blocking allreduce matched across ranks by ``name``."""
+        return self._view.allreduce(tensor, name=name, op=op, phase=phase)
+
+    def allreduce_async_(
+        self, tensor: np.ndarray, name: str, op: str = Average, phase: str = "allreduce"
+    ) -> Handle[np.ndarray]:
+        """Handle-returning allreduce (resolved on ``synchronize``)."""
+        return DeferredHandle(lambda: self.allreduce(tensor, name, op, phase))
+
+    def allgather(self, tensor: np.ndarray, name: str, phase: str = "allgather") -> list[np.ndarray]:
+        return self._view.allgather(tensor, name=name, phase=phase)
+
+    def broadcast(self, tensor: np.ndarray, name: str, root: int = 0) -> np.ndarray:
+        return self._view.broadcast(tensor, name=name, root=root)
+
+    def barrier(self, name: str = "barrier") -> None:
+        self._view.barrier(name)
+
+    @staticmethod
+    def synchronize(handle: Handle[np.ndarray]) -> np.ndarray:
+        """Resolve a handle (mirrors ``hvd.synchronize``)."""
+        return handle.wait()
+
+    def broadcast_parameters(self, model: Module, root: int = 0) -> None:
+        """Broadcast every parameter and buffer from ``root`` in place."""
+        for name, p in model.named_parameters():
+            p.data[...] = self.broadcast(p.data, name=f"param:{name}", root=root)
+        owners = model._buffer_owners()
+        for name, (owner, bname) in sorted(owners.items()):
+            current = np.asarray(getattr(owner, bname))
+            owner._set_buffer(bname, self.broadcast(current, name=f"buffer:{name}", root=root))
+
+
+class DistributedOptimizer:
+    """Wraps a local optimizer with gradient averaging (Horovod contract)."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        hvd: HorovodContext,
+        named_parameters: Iterable[tuple[str, Parameter]],
+        op: str = Average,
+    ) -> None:
+        self.optimizer = optimizer
+        self.hvd = hvd
+        self.named_params = list(named_parameters)
+        if not self.named_params:
+            raise ValueError("DistributedOptimizer requires named parameters")
+        self.op = op
+        self._synchronized = False
+        self._skip = False
+        self._round = 0
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self.optimizer.lr = value
+
+    def zero_grad(self) -> None:
+        self.optimizer.zero_grad()
+
+    def synchronize(self) -> None:
+        """Average all parameter gradients across ranks, in place."""
+        tag = self._round
+        for name, p in self.named_params:
+            p.grad[...] = self.hvd.allreduce(
+                p.grad, name=f"grad:{name}:{tag}", op=self.op, phase="grad_allreduce"
+            )
+        self._round += 1
+        self._synchronized = True
+
+    @contextmanager
+    def skip_synchronize(self) -> Iterator[None]:
+        """Suppress the implicit synchronize inside the next ``step()``."""
+        self._skip = True
+        try:
+            yield
+        finally:
+            self._skip = False
+
+    def step(self) -> None:
+        if not self._synchronized and not self._skip:
+            self.synchronize()
+        self.optimizer.step()
+        self._synchronized = False

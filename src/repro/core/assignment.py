@@ -1,0 +1,105 @@
+"""Factor -> worker placement policies.
+
+Algorithm 1 line 9: "Assign factors A_{0:L-1} and G_{1:L} to unique workers"
+in a *round-robin* fashion.  §VI-C4 diagnoses the resulting load imbalance
+(factor sizes vary by orders of magnitude, Table VI) and proposes
+size-balanced placement as future work — we implement that too, as a
+greedy longest-processing-time (LPT) heuristic on a cubic cost model, and
+benchmark both (``bench_ablation_placement``).
+
+The same module also provides layer-wise assignment for the K-FAC-lw
+baseline, where *both* factors of a layer (and its gradient
+preconditioning) live on one worker — the scheme of Osawa et al. [6] that
+the paper improves upon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = [
+    "FactorMeta",
+    "eig_cost",
+    "round_robin_assignment",
+    "greedy_balanced_assignment",
+    "layer_wise_assignment",
+    "worker_costs",
+]
+
+
+@dataclass(frozen=True)
+class FactorMeta:
+    """Identity and size of one Kronecker factor."""
+
+    layer: str  # owning layer name
+    kind: str  # "A" or "G"
+    dim: int  # square matrix dimension
+
+    @property
+    def key(self) -> str:
+        return f"{self.layer}/{self.kind}"
+
+    @property
+    def n_elements(self) -> int:
+        return self.dim * self.dim
+
+
+def eig_cost(meta: FactorMeta) -> float:
+    """Relative eigendecomposition cost, ``O(n^3)``."""
+    return float(meta.dim) ** 3
+
+
+def round_robin_assignment(
+    factors: Sequence[FactorMeta], n_workers: int
+) -> dict[str, int]:
+    """Paper placement: factor ``j`` (enumeration order) -> worker ``j % P``.
+
+    Note both factors of one layer generally land on *different* workers —
+    the "double the worker utilization" property of §IV-C.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return {meta.key: i % n_workers for i, meta in enumerate(factors)}
+
+
+def greedy_balanced_assignment(
+    factors: Sequence[FactorMeta],
+    n_workers: int,
+    cost_fn: Callable[[FactorMeta], float] = eig_cost,
+) -> dict[str, int]:
+    """LPT heuristic: sort by cost descending, give each to the least-loaded
+    worker.  This is the §VI-C4 "placement policy that uses factor size as
+    a heuristic for the eigen decomposition time"."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    loads = [0.0] * n_workers
+    assignment: dict[str, int] = {}
+    order = sorted(factors, key=cost_fn, reverse=True)
+    for meta in order:
+        worker = min(range(n_workers), key=loads.__getitem__)
+        assignment[meta.key] = worker
+        loads[worker] += cost_fn(meta)
+    return assignment
+
+
+def layer_wise_assignment(
+    layer_names: Sequence[str], n_workers: int
+) -> dict[str, int]:
+    """K-FAC-lw placement: layer ``i`` -> worker ``i % P`` (whole layer)."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return {name: i % n_workers for i, name in enumerate(layer_names)}
+
+
+def worker_costs(
+    factors: Sequence[FactorMeta],
+    assignment: dict[str, int],
+    n_workers: int,
+    cost_fn: Callable[[FactorMeta], float] = eig_cost,
+) -> list[float]:
+    """Aggregate assigned cost per worker (Table VI's imbalance metric)."""
+    loads = [0.0] * n_workers
+    for meta in factors:
+        loads[assignment[meta.key]] += cost_fn(meta)
+    return loads

@@ -1,0 +1,54 @@
+"""Gradient scaling after preconditioning (Eq. 18).
+
+The preconditioned gradient can be much larger than the raw gradient early
+in training; the paper rescales it by
+
+    nu = min(1, sqrt(kappa / (alpha^2 * sum_i |precond_i . grad_i|)))
+
+"to prevent the norm of [the preconditioned gradient] becoming large
+compared to w" — the same KL-clip used in the reference implementation
+(kappa ~ 1e-3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["kl_clip_factor"]
+
+
+def kl_clip_factor(
+    precond_grads: Sequence[np.ndarray],
+    raw_grads: Sequence[np.ndarray],
+    lr: float,
+    kl_clip: float = 1e-3,
+    eps: float = 1e-16,
+) -> float:
+    """Compute the Eq. 18 scale ``nu`` over all preconditioned layers.
+
+    Parameters
+    ----------
+    precond_grads / raw_grads:
+        Matched sequences of preconditioned and raw gradient arrays.
+    lr:
+        Current learning rate ``alpha``.
+    kl_clip:
+        The user constant ``kappa``.
+    """
+    if len(precond_grads) != len(raw_grads):
+        raise ValueError(
+            f"mismatched lists: {len(precond_grads)} precond vs {len(raw_grads)} raw"
+        )
+    if kl_clip <= 0:
+        raise ValueError(f"kl_clip must be positive, got {kl_clip}")
+    vg_sum = 0.0
+    for pg, g in zip(precond_grads, raw_grads):
+        if pg.shape != g.shape:
+            raise ValueError(f"shape mismatch {pg.shape} vs {g.shape}")
+        vg_sum += float(np.abs((pg * g).sum()) * lr * lr)
+    if vg_sum <= eps:
+        return 1.0
+    return min(1.0, math.sqrt(kl_clip / vg_sum))

@@ -1,0 +1,73 @@
+"""Communication requests yielded by the K-FAC step generator.
+
+Algorithm 1 is implemented exactly once, as a generator that *yields*
+communication requests and receives their results (see
+:mod:`repro.core.preconditioner`).  Drivers in
+:mod:`repro.core.distributed` execute those requests:
+
+- locally (world of one — requests are satisfied with the local data),
+- phase-style (a lockstep controller matching requests across simulated
+  workers and executing fused :class:`repro.comm.World` collectives), or
+- SPMD-style (each rank's thread resolves requests through matched
+  Horovod-like collectives).
+
+This mirrors how the real implementation separates the K-FAC math from
+Horovod communication handles (§V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AllReduceRequest", "AllGatherRequest", "pack_arrays", "unpack_arrays"]
+
+
+@dataclass
+class AllReduceRequest:
+    """Average (or sum) each tensor across all workers.
+
+    ``tensors`` is this rank's contribution; the response is the list of
+    reduced tensors in the same order/shapes.  Drivers fuse the list into
+    one flat buffer (Horovod fusion-buffer behaviour).
+    """
+
+    tensors: list[np.ndarray]
+    op: str = "average"
+    phase: str = "allreduce"
+
+
+@dataclass
+class AllGatherRequest:
+    """Gather one flat per-rank contribution from every worker.
+
+    The response is ``[contribution_rank0, ..., contribution_rank{P-1}]``.
+    Contributions may have different lengths (factor shards differ per
+    worker).
+    """
+
+    tensor: np.ndarray
+    phase: str = "allgather"
+    meta: dict = field(default_factory=dict)
+
+
+def pack_arrays(arrays: list[np.ndarray], dtype: str = "float32") -> np.ndarray:
+    """Concatenate arrays into one flat buffer (deterministic order)."""
+    if not arrays:
+        return np.zeros(0, dtype=dtype)
+    return np.concatenate([np.ascontiguousarray(a, dtype=dtype).reshape(-1) for a in arrays])
+
+
+def unpack_arrays(flat: np.ndarray, shapes: list[tuple[int, ...]]) -> list[np.ndarray]:
+    """Split a flat buffer back into arrays of the given shapes."""
+    sizes = [int(np.prod(s)) if s else 1 for s in shapes]
+    total = sum(sizes)
+    if flat.size != total:
+        raise ValueError(f"flat buffer has {flat.size} elements, shapes need {total}")
+    out = []
+    offset = 0
+    for shape, size in zip(shapes, sizes):
+        out.append(flat[offset : offset + size].reshape(shape).copy())
+        offset += size
+    return out

@@ -1,0 +1,133 @@
+"""Drivers binding the K-FAC step generator to a communication substrate.
+
+Three drivers, one algorithm:
+
+- :class:`LocalDriver` — world of one; requests are satisfied locally.
+- :class:`PhaseController` — lockstep execution of P replicas' step
+  generators against a :class:`repro.comm.World` (deterministic; used by
+  the data-parallel trainer and all experiments).  AllReduce requests are
+  fused into a single flat ring-allreduce per matched request, reproducing
+  Horovod's fusion-buffer behaviour for factor communication.
+- :class:`SPMDDriver` — executes a single rank's generator inside a
+  threaded SPMD program via matched named collectives (what the
+  Listing 1-style quickstart uses).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+import numpy as np
+
+from repro.comm.backend import World
+from repro.comm.horovod import HorovodContext
+from repro.core.comm_ops import AllGatherRequest, AllReduceRequest, pack_arrays, unpack_arrays
+from repro.core.preconditioner import KFAC
+
+__all__ = ["LocalDriver", "PhaseController", "SPMDDriver"]
+
+
+class LocalDriver:
+    """Drive one KFAC instance with no communication (world of one)."""
+
+    def __init__(self, kfac: KFAC) -> None:
+        if kfac.world_size != 1:
+            raise ValueError("LocalDriver requires world_size == 1")
+        self.kfac = kfac
+
+    def step(self) -> None:
+        self.kfac.step()
+
+
+def _advance(gen: Generator, value: Any = None, first: bool = False) -> Any | None:
+    """Advance a generator; return the next request or None when finished."""
+    try:
+        return next(gen) if first else gen.send(value)
+    except StopIteration:
+        return None
+
+
+class PhaseController:
+    """Lockstep driver for P replicas' preconditioners over one World.
+
+    All replicas must be configured with the same hyper-parameters and
+    ``world_size == world.size`` and ``rank == index``; the controller
+    matches their yielded requests step by step and executes each matched
+    request as one fused collective.
+    """
+
+    def __init__(self, kfacs: Sequence[KFAC], world: World) -> None:
+        if len(kfacs) != world.size:
+            raise ValueError(f"got {len(kfacs)} KFAC replicas for world size {world.size}")
+        for i, k in enumerate(kfacs):
+            if k.rank != i or k.world_size != world.size:
+                raise ValueError(
+                    f"replica {i} has rank/world {k.rank}/{k.world_size}, "
+                    f"expected {i}/{world.size}"
+                )
+        self.kfacs = list(kfacs)
+        self.world = world
+
+    def step(self) -> None:
+        """Execute one K-FAC step on every replica, in lockstep."""
+        gens = [k.step_generator() for k in self.kfacs]
+        requests = [_advance(g, first=True) for g in gens]
+        while any(r is not None for r in requests):
+            kinds = {type(r) for r in requests}
+            if len(kinds) != 1 or None in requests:
+                raise RuntimeError(
+                    f"replicas diverged: mixed requests {[type(r).__name__ for r in requests]}"
+                )
+            if isinstance(requests[0], AllReduceRequest):
+                responses = self._run_allreduce(requests)  # type: ignore[arg-type]
+            elif isinstance(requests[0], AllGatherRequest):
+                responses = self._run_allgather(requests)  # type: ignore[arg-type]
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown request type {type(requests[0])}")
+            requests = [_advance(g, resp) for g, resp in zip(gens, responses)]
+
+    def _run_allreduce(self, reqs: list[AllReduceRequest]) -> list[list[np.ndarray]]:
+        shapes = [t.shape for t in reqs[0].tensors]
+        for r, req in enumerate(reqs):
+            if [t.shape for t in req.tensors] != shapes:
+                raise RuntimeError(f"rank {r} allreduce shapes diverged")
+        fused = [pack_arrays(req.tensors) for req in reqs]
+        reduced = self.world.allreduce(fused, op=reqs[0].op, phase=reqs[0].phase)
+        return [unpack_arrays(flat, shapes) for flat in reduced]
+
+    def _run_allgather(self, reqs: list[AllGatherRequest]) -> list[list[np.ndarray]]:
+        contributions = [req.tensor for req in reqs]
+        gathered = self.world.allgather(contributions, phase=reqs[0].phase)
+        return gathered
+
+
+class SPMDDriver:
+    """Per-rank driver using matched named collectives (threaded SPMD)."""
+
+    def __init__(self, kfac: KFAC, hvd: HorovodContext) -> None:
+        if kfac.world_size != hvd.size():
+            raise ValueError(
+                f"KFAC world_size {kfac.world_size} != hvd size {hvd.size()}"
+            )
+        if kfac.rank != hvd.rank():
+            raise ValueError(f"KFAC rank {kfac.rank} != hvd rank {hvd.rank()}")
+        self.kfac = kfac
+        self.hvd = hvd
+
+    def step(self) -> None:
+        gen = self.kfac.step_generator()
+        req = _advance(gen, first=True)
+        seq = 0
+        while req is not None:
+            name = f"kfac:{req.phase}:{seq}"
+            seq += 1
+            if isinstance(req, AllReduceRequest):
+                shapes = [t.shape for t in req.tensors]
+                flat = pack_arrays(req.tensors)
+                reduced = self.hvd.allreduce(flat, name=name, op=req.op, phase=req.phase)
+                req = _advance(gen, unpack_arrays(reduced, shapes))
+            elif isinstance(req, AllGatherRequest):
+                gathered = self.hvd.allgather(req.tensor, name=name, phase=req.phase)
+                req = _advance(gen, gathered)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown request type {type(req)}")

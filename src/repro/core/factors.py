@@ -1,0 +1,147 @@
+"""Kronecker factor computation (Eq. 5) and running averages (Eqs. 16–17).
+
+Conventions
+-----------
+Let the training loss be the *mean* over the local mini-batch of ``N``
+examples (that is what ``repro.nn`` losses produce, matching PyTorch).  The
+backward pass therefore yields ``g0 = d(mean loss)/d(layer output)``; the
+per-example gradient of the *summed* loss is ``N * g0``.  With that:
+
+- **Linear** (input ``a``: ``(N, d_in)``; output grad ``g0``: ``(N, d_out)``)::
+
+      A = a^T a / N                      (append a ones column when bias)
+      G = N * g0^T g0                    ( = (1/N) sum_i (N g0_i)(N g0_i)^T )
+
+- **Conv2d** (KFC, Grosse & Martens 2016).  With ``patches`` the im2col
+  expansion ``(N*L, C_in*kh*kw)`` over ``L`` spatial positions and ``g0``
+  reshaped to ``(N*L, C_out)``::
+
+      A = patches^T patches / (N * L)    (Omega, expectation over (n, t))
+      G = N * g0^T g0                    ( = |T| * Gamma with de-averaged grads)
+
+  so that ``G (x) A`` equals KFC's ``|T| * Omega (x) Gamma`` approximation
+  of the Fisher block for the *mean* loss scaled consistently with the
+  Linear case.  (Row-major ``vec``: the Fisher block on ``vec(W)`` is
+  ``G (x) A``, with ``W`` of shape ``(d_out, d_in)``.)
+
+Exactness anchor (tested): for a single sample through a Linear layer,
+``vec(dW) vec(dW)^T == G (x) A`` holds *exactly*.
+
+Running average (paper Eqs. 16–17): the paper writes the new reading with
+weight ``xi in [0.9, 1)``, but the reference implementation (and any sane
+running average) weights the *old* value by the decay; we follow the
+implementation: ``ema = decay * ema + (1 - decay) * new`` with
+``decay = 0.95`` by default (the paper's ``xi`` is our ``1 - decay``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.im2col import im2col
+
+__all__ = [
+    "append_bias_column",
+    "linear_factor_A",
+    "linear_factor_G",
+    "conv2d_factor_A",
+    "conv2d_factor_G",
+    "ema_update",
+]
+
+
+def append_bias_column(mat: np.ndarray) -> np.ndarray:
+    """Append a column of ones (homogeneous coordinates for the bias)."""
+    ones = np.ones((mat.shape[0], 1), dtype=mat.dtype)
+    return np.concatenate([mat, ones], axis=1)
+
+
+def linear_factor_A(a: np.ndarray, has_bias: bool) -> np.ndarray:
+    """Activation covariance for a Linear layer.
+
+    Parameters
+    ----------
+    a:
+        Layer input, shape ``(N, d_in)``.
+    has_bias:
+        Append the homogeneous ones column when the layer has a bias.
+    """
+    if a.ndim != 2:
+        raise ValueError(f"linear activations must be (N, d_in), got {a.shape}")
+    if has_bias:
+        a = append_bias_column(a)
+    return (a.T @ a) / a.shape[0]
+
+
+def linear_factor_G(g0: np.ndarray, batch_averaged: bool = True) -> np.ndarray:
+    """Output-gradient covariance for a Linear layer.
+
+    Parameters
+    ----------
+    g0:
+        Gradient w.r.t. the layer output, shape ``(N, d_out)``.
+    batch_averaged:
+        True when ``g0`` came from a mean-reduced loss (our convention);
+        the per-example gradients are then recovered as ``N * g0``.
+    """
+    if g0.ndim != 2:
+        raise ValueError(f"output grads must be (N, d_out), got {g0.shape}")
+    n = g0.shape[0]
+    if batch_averaged:
+        return (g0.T @ g0) * n
+    return (g0.T @ g0) / n
+
+
+def conv2d_factor_A(
+    x: np.ndarray,
+    kernel_size: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    has_bias: bool,
+) -> np.ndarray:
+    """Patch covariance (KFC's Omega) for a Conv2d layer.
+
+    Parameters
+    ----------
+    x:
+        Layer input, shape ``(N, C_in, H, W)``.
+    """
+    patches = im2col(x, kernel_size, stride, padding)  # (N*L, D)
+    if has_bias:
+        patches = append_bias_column(patches)
+    return (patches.T @ patches) / patches.shape[0]
+
+
+def conv2d_factor_G(g0: np.ndarray, batch_averaged: bool = True) -> np.ndarray:
+    """Output-gradient covariance (scaled KFC Gamma) for a Conv2d layer.
+
+    Parameters
+    ----------
+    g0:
+        Gradient w.r.t. the layer output, shape ``(N, C_out, OH, OW)``.
+    """
+    if g0.ndim != 4:
+        raise ValueError(f"conv output grads must be (N, C, OH, OW), got {g0.shape}")
+    n = g0.shape[0]
+    flat = g0.transpose(0, 2, 3, 1).reshape(-1, g0.shape[1])  # (N*L, C_out)
+    if batch_averaged:
+        return (flat.T @ flat) * n
+    # treat rows as per-example-per-position grads of a summed loss
+    return (flat.T @ flat) / n
+
+
+def ema_update(ema: np.ndarray | None, new: np.ndarray, decay: float) -> np.ndarray:
+    """Running-average update, ``decay`` weighting the old value.
+
+    On the first call (``ema is None``) the new reading is adopted
+    directly, avoiding cold-start bias.
+    """
+    if not 0.0 <= decay < 1.0:
+        raise ValueError(f"decay must be in [0, 1), got {decay}")
+    if ema is None:
+        return new.copy()
+    if ema.shape != new.shape:
+        raise ValueError(f"EMA shape {ema.shape} != new reading shape {new.shape}")
+    ema *= decay
+    ema += (1.0 - decay) * new
+    return ema

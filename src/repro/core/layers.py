@@ -1,0 +1,216 @@
+"""Per-layer K-FAC handlers.
+
+A handler owns everything K-FAC knows about one supported module:
+
+- captured activations / output-gradients (fed by module hooks);
+- running-average factors ``A`` and ``G``;
+- the current second-order state (eigendecompositions, or explicit damped
+  inverses when running the Table I "inverse" variant);
+- gradient packing: weight grad and bias grad are fused into one
+  ``(d_out, d_in + 1)`` matrix so a single pair of factors preconditions
+  both, exactly as the reference implementation does.
+
+Only ``Linear`` and ``Conv2d`` are supported; "all unsupported layers are
+ignored by the K-FAC preconditioner and updated normally" (§V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.factors import (
+    conv2d_factor_A,
+    conv2d_factor_G,
+    ema_update,
+    linear_factor_A,
+    linear_factor_G,
+)
+from repro.core.inverse import (
+    FactorEig,
+    eigendecompose,
+    explicit_damped_inverse,
+    precondition_eigen,
+    precondition_inverse,
+)
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+
+__all__ = ["KFACLayer", "LinearKFACLayer", "Conv2dKFACLayer", "make_kfac_layer"]
+
+
+class KFACLayer:
+    """Base K-FAC handler for one module."""
+
+    def __init__(self, name: str, module: Module) -> None:
+        self.name = name
+        self.module = module
+        self.a_input: np.ndarray | None = None
+        self.g_output: np.ndarray | None = None
+        self.A: np.ndarray | None = None  # running-average activation factor
+        self.G: np.ndarray | None = None  # running-average grad factor
+        self.eig_A: FactorEig | None = None
+        self.eig_G: FactorEig | None = None
+        self.inv_A: np.ndarray | None = None
+        self.inv_G: np.ndarray | None = None
+
+    # -- shapes ----------------------------------------------------------
+    @property
+    def has_bias(self) -> bool:
+        return getattr(self.module, "bias", None) is not None
+
+    @property
+    def a_dim(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def g_dim(self) -> int:
+        raise NotImplementedError
+
+    # -- hook sinks -----------------------------------------------------
+    def save_input(self, x: np.ndarray) -> None:
+        self.a_input = x
+
+    def save_grad_output(self, g: np.ndarray) -> None:
+        self.g_output = g
+
+    # -- factor math ------------------------------------------------------
+    def compute_A(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def compute_G(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def update_factors(self, decay: float) -> None:
+        """Compute current factors from captures and fold into the EMAs."""
+        if self.a_input is None or self.g_output is None:
+            raise RuntimeError(
+                f"layer {self.name}: factor update requested but no "
+                "activations/gradients were captured this step"
+            )
+        self.A = ema_update(self.A, self.compute_A(), decay)
+        self.G = ema_update(self.G, self.compute_G(), decay)
+        # release captures; they are only valid for this iteration
+        self.a_input = None
+        self.g_output = None
+
+    # -- second-order state -------------------------------------------------
+    def compute_eigen(self) -> tuple[FactorEig, FactorEig]:
+        """Eigendecompose both running-average factors (Eq. 13 inputs)."""
+        if self.A is None or self.G is None:
+            raise RuntimeError(f"layer {self.name}: factors not yet computed")
+        return eigendecompose(self.A), eigendecompose(self.G)
+
+    def compute_inverses(self, gamma: float) -> tuple[np.ndarray, np.ndarray]:
+        """Explicit damped inverses of both factors (Eq. 11)."""
+        if self.A is None or self.G is None:
+            raise RuntimeError(f"layer {self.name}: factors not yet computed")
+        return explicit_damped_inverse(self.A, gamma), explicit_damped_inverse(self.G, gamma)
+
+    # -- gradient packing ---------------------------------------------------
+    def get_grad_matrix(self) -> np.ndarray:
+        """Weight grad as ``(g_dim, a_dim)``, bias grad in the last column.
+
+        Always a copy — never a view of ``.grad`` — so callers can hold the
+        raw gradient across a later :meth:`set_grad_matrix`.
+        """
+        w = self.module.weight.grad  # type: ignore[attr-defined]
+        mat = w.reshape(self.g_dim, -1)
+        if self.has_bias:
+            b = self.module.bias.grad  # type: ignore[attr-defined]
+            return np.concatenate([mat, b[:, None]], axis=1)
+        return mat.copy()
+
+    def set_grad_matrix(self, mat: np.ndarray) -> None:
+        """Scatter a packed gradient matrix back into parameter ``.grad``s."""
+        if mat.shape != (self.g_dim, self.a_dim):
+            raise ValueError(
+                f"layer {self.name}: grad matrix {mat.shape} != "
+                f"({self.g_dim}, {self.a_dim})"
+            )
+        w = self.module.weight  # type: ignore[attr-defined]
+        if self.has_bias:
+            w.grad[...] = mat[:, :-1].reshape(w.grad.shape)
+            self.module.bias.grad[...] = mat[:, -1]  # type: ignore[attr-defined]
+        else:
+            w.grad[...] = mat.reshape(w.grad.shape)
+
+    def precondition(self, grad_mat: np.ndarray, gamma: float, use_eigen: bool) -> np.ndarray:
+        """Apply the current second-order state to a packed gradient."""
+        if use_eigen:
+            if self.eig_A is None or self.eig_G is None:
+                raise RuntimeError(f"layer {self.name}: eigendecompositions not ready")
+            return precondition_eigen(grad_mat, self.eig_A, self.eig_G, gamma)
+        if self.inv_A is None or self.inv_G is None:
+            raise RuntimeError(f"layer {self.name}: inverses not ready")
+        return precondition_inverse(grad_mat, self.inv_A, self.inv_G)
+
+    @property
+    def ready(self) -> bool:
+        """True once second-order state exists (first K-FAC update done)."""
+        return (self.eig_A is not None and self.eig_G is not None) or (
+            self.inv_A is not None and self.inv_G is not None
+        )
+
+
+class LinearKFACLayer(KFACLayer):
+    """Handler for :class:`repro.nn.layers.Linear`."""
+
+    def __init__(self, name: str, module: Linear) -> None:
+        super().__init__(name, module)
+        self._module: Linear = module
+
+    @property
+    def a_dim(self) -> int:
+        return self._module.in_features + (1 if self.has_bias else 0)
+
+    @property
+    def g_dim(self) -> int:
+        return self._module.out_features
+
+    def compute_A(self) -> np.ndarray:
+        assert self.a_input is not None
+        return linear_factor_A(self.a_input, self.has_bias)
+
+    def compute_G(self) -> np.ndarray:
+        assert self.g_output is not None
+        return linear_factor_G(self.g_output, batch_averaged=True)
+
+
+class Conv2dKFACLayer(KFACLayer):
+    """Handler for :class:`repro.nn.layers.Conv2d` (KFC factors)."""
+
+    def __init__(self, name: str, module: Conv2d) -> None:
+        super().__init__(name, module)
+        self._module: Conv2d = module
+
+    @property
+    def a_dim(self) -> int:
+        kh, kw = self._module.kernel_size
+        return self._module.in_channels * kh * kw + (1 if self.has_bias else 0)
+
+    @property
+    def g_dim(self) -> int:
+        return self._module.out_channels
+
+    def compute_A(self) -> np.ndarray:
+        assert self.a_input is not None
+        return conv2d_factor_A(
+            self.a_input,
+            self._module.kernel_size,
+            self._module.stride,
+            self._module.padding,
+            self.has_bias,
+        )
+
+    def compute_G(self) -> np.ndarray:
+        assert self.g_output is not None
+        return conv2d_factor_G(self.g_output, batch_averaged=True)
+
+
+def make_kfac_layer(name: str, module: Module) -> KFACLayer | None:
+    """Return a handler for supported module types, else ``None``."""
+    if isinstance(module, Linear):
+        return LinearKFACLayer(name, module)
+    if isinstance(module, Conv2d):
+        return Conv2dKFACLayer(name, module)
+    return None

@@ -1,0 +1,462 @@
+"""The distributed K-FAC gradient preconditioner (paper Algorithm 1).
+
+``KFAC`` attaches hooks to every supported layer of a model, maintains
+running-average Kronecker factors, and — on ``step()`` — rewrites
+``param.grad`` in place with the preconditioned gradient so that any
+standard optimizer can apply the update (paper Listing 1).
+
+Two distribution strategies (§VI-C3) are implemented behind one code path:
+
+- ``COMM_OPT`` (the paper's **K-FAC-opt**): each *factor* is assigned to a
+  worker round-robin; workers eigendecompose only their assigned factors;
+  decompositions are allgathered; every worker preconditions every layer
+  locally.  Iterations without a K-FAC update need **no communication
+  beyond the ordinary gradient allreduce**.
+
+- ``LAYER_WISE`` (the paper's **K-FAC-lw**, the scheme of Osawa et al.):
+  each *layer* is assigned to a worker, which computes both of its
+  eigendecompositions *and* its preconditioned gradient; the preconditioned
+  gradients are then allgathered — on **every** iteration, since only the
+  owner holds the layer's second-order state.
+
+The step logic is a generator yielding
+:class:`repro.core.comm_ops.AllReduceRequest` /
+:class:`AllGatherRequest`; drivers in :mod:`repro.core.distributed` bind it
+to a world.  Counters (``steps``, update frequencies, captures) follow the
+reference implementation: factors are captured/updated every
+``fac_update_freq`` steps and second-order state every
+``kfac_update_freq`` steps, with ``fac_update_freq`` typically 10x more
+frequent (§V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Sequence
+
+import numpy as np
+
+from repro.core.assignment import (
+    FactorMeta,
+    greedy_balanced_assignment,
+    layer_wise_assignment,
+    round_robin_assignment,
+)
+from repro.core.clipping import kl_clip_factor
+from repro.core.comm_ops import AllGatherRequest, AllReduceRequest, pack_arrays, unpack_arrays
+from repro.core.inverse import FactorEig, eigendecompose, explicit_damped_inverse
+from repro.core.layers import KFACLayer, make_kfac_layer
+from repro.nn.module import Module
+
+__all__ = ["KFAC", "KFACHyperParams", "COMM_OPT", "LAYER_WISE"]
+
+COMM_OPT = "comm-opt"
+LAYER_WISE = "layer-wise"
+
+
+@dataclass
+class KFACHyperParams:
+    """Hyper-parameters of the preconditioner (defaults follow the paper).
+
+    Attributes
+    ----------
+    lr:
+        Learning rate used by the Eq. 18 scaling (kept in sync with the
+        wrapped optimizer by the trainer).
+    damping:
+        Tikhonov damping ``gamma`` (paper uses 0.001–0.003).
+    factor_decay:
+        Running-average decay on the old factor value (paper ``1 - xi``).
+    kl_clip:
+        Eq. 18 constant ``kappa``.
+    fac_update_freq:
+        Interval (steps) between factor recomputation + factor allreduce.
+    kfac_update_freq:
+        Interval (steps) between eigendecomposition refreshes; the paper's
+        *K-FAC update frequency* knob (Table III).
+    use_eigen_decomp:
+        Eigendecomposition path (True, Eqs. 13–15) or explicit factored
+        inverse (False, Eq. 11) — the Table I comparison.
+    strategy:
+        ``COMM_OPT`` or ``LAYER_WISE``.
+    assignment:
+        ``"round_robin"`` (paper) or ``"greedy"`` (the §VI-C4 LPT policy).
+    skip_layers:
+        Layer-name substrings to exclude from preconditioning.
+    """
+
+    lr: float = 0.1
+    damping: float = 0.003
+    factor_decay: float = 0.95
+    kl_clip: float = 1e-3
+    fac_update_freq: int = 1
+    kfac_update_freq: int = 10
+    use_eigen_decomp: bool = True
+    strategy: str = COMM_OPT
+    assignment: str = "round_robin"
+    skip_layers: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.damping <= 0:
+            raise ValueError(f"damping must be positive, got {self.damping}")
+        if not 0 <= self.factor_decay < 1:
+            raise ValueError(f"factor_decay must be in [0,1), got {self.factor_decay}")
+        if self.fac_update_freq < 1 or self.kfac_update_freq < 1:
+            raise ValueError("update frequencies must be >= 1")
+        if self.strategy not in (COMM_OPT, LAYER_WISE):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.assignment not in ("round_robin", "greedy"):
+            raise ValueError(f"unknown assignment {self.assignment!r}")
+
+
+class KFAC:
+    """K-FAC preconditioner for one model replica.
+
+    Parameters
+    ----------
+    model:
+        The replica whose supported layers will be preconditioned.
+    rank / world_size:
+        This replica's position in the (simulated) worker world.
+    hyper:
+        Hyper-parameters; keyword overrides are also accepted.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        rank: int = 0,
+        world_size: int = 1,
+        hyper: KFACHyperParams | None = None,
+        **overrides: Any,
+    ) -> None:
+        if world_size < 1 or not 0 <= rank < world_size:
+            raise ValueError(f"invalid rank/world_size: {rank}/{world_size}")
+        base = hyper if hyper is not None else KFACHyperParams()
+        if overrides:
+            base = KFACHyperParams(
+                **{**base.__dict__, **overrides}  # type: ignore[arg-type]
+            )
+        self.hp = base
+        self.model = model
+        self.rank = rank
+        self.world_size = world_size
+        self.steps = 0
+        # mutable knobs (targets of KFACParamScheduler)
+        self.lr = base.lr
+        self.damping = base.damping
+        self.fac_update_freq = base.fac_update_freq
+        self.kfac_update_freq = base.kfac_update_freq
+
+        self.layers: list[KFACLayer] = []
+        self._hook_removers: list = []
+        for name, module in model.named_modules():
+            if any(s in name for s in base.skip_layers):
+                continue
+            handler = make_kfac_layer(name, module)
+            if handler is None:
+                continue
+            self.layers.append(handler)
+            self._hook_removers.append(
+                module.register_forward_hook(self._make_forward_hook(handler))
+            )
+            self._hook_removers.append(
+                module.register_backward_hook(self._make_backward_hook(handler))
+            )
+        if not self.layers:
+            raise ValueError("model has no K-FAC-supported layers (Linear/Conv2d)")
+
+        self._factor_metas = self._build_factor_metas()
+        self._factor_assignment: dict[str, int] = self._assign_factors()
+        self._layer_assignment: dict[str, int] = layer_wise_assignment(
+            [l.name for l in self.layers], world_size
+        )
+        # instrumentation counters
+        self.n_factor_updates = 0
+        self.n_second_order_updates = 0
+        self.n_eigs_computed_locally = 0
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def _make_forward_hook(self, handler: KFACLayer):
+        def hook(module: Module, inp: np.ndarray, out: np.ndarray) -> None:
+            if module.training and self._capture_now:
+                handler.save_input(inp)
+
+        return hook
+
+    def _make_backward_hook(self, handler: KFACLayer):
+        def hook(module: Module, grad_out: np.ndarray) -> None:
+            if module.training and self._capture_now:
+                handler.save_grad_output(grad_out)
+
+        return hook
+
+    @property
+    def _capture_now(self) -> bool:
+        """Capture activations/grads on iterations that update factors."""
+        return self.steps % self.fac_update_freq == 0
+
+    def remove_hooks(self) -> None:
+        """Detach from the model (e.g. before pickling the model)."""
+        for remove in self._hook_removers:
+            remove()
+        self._hook_removers.clear()
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def _build_factor_metas(self) -> list[FactorMeta]:
+        metas: list[FactorMeta] = []
+        for layer in self.layers:
+            metas.append(FactorMeta(layer.name, "A", layer.a_dim))
+        for layer in self.layers:
+            metas.append(FactorMeta(layer.name, "G", layer.g_dim))
+        return metas
+
+    def _assign_factors(self) -> dict[str, int]:
+        if self.hp.assignment == "greedy":
+            return greedy_balanced_assignment(self._factor_metas, self.world_size)
+        return round_robin_assignment(self._factor_metas, self.world_size)
+
+    @property
+    def factor_metas(self) -> list[FactorMeta]:
+        """All factor identities, in communication order (A's then G's)."""
+        return list(self._factor_metas)
+
+    @property
+    def factor_assignment(self) -> dict[str, int]:
+        """factor key -> owning worker."""
+        return dict(self._factor_assignment)
+
+    # ------------------------------------------------------------------
+    # the Algorithm 1 step (generator)
+    # ------------------------------------------------------------------
+    def step_generator(self) -> Generator[Any, Any, None]:
+        """One preconditioning step; yields comm requests, mutates grads.
+
+        Preconditions: forward+backward already ran (hooks captured data on
+        factor-update iterations) and gradients are already averaged across
+        workers (Listing 1 calls ``optimizer.synchronize()`` first).
+        """
+        update_factors = self.steps % self.fac_update_freq == 0
+        update_second_order = self.steps % self.kfac_update_freq == 0
+
+        if update_factors:
+            # Algorithm 1 step 1: local factors, running averages, allreduce
+            for layer in self.layers:
+                layer.update_factors(self.hp.factor_decay)
+            self.n_factor_updates += 1
+            if self.world_size > 1:
+                tensors = [l.A for l in self.layers] + [l.G for l in self.layers]
+                reduced = yield AllReduceRequest(
+                    tensors=tensors, op="average", phase="factor_comm"  # type: ignore[arg-type]
+                )
+                n = len(self.layers)
+                for i, layer in enumerate(self.layers):
+                    layer.A = reduced[i]
+                    layer.G = reduced[n + i]
+
+        if update_second_order:
+            if self.hp.strategy == COMM_OPT:
+                yield from self._update_second_order_comm_opt()
+            else:
+                self._update_second_order_layer_wise()
+            self.n_second_order_updates += 1
+
+        if self.hp.strategy == COMM_OPT:
+            self._precondition_all_local()
+        else:
+            yield from self._precondition_layer_wise()
+
+        self.steps += 1
+
+    # -- COMM_OPT second-order update (Algorithm 1 steps 2 + allgather) ----
+    def _update_second_order_comm_opt(self) -> Generator[Any, Any, None]:
+        mine = [m for m in self._factor_metas if self._factor_assignment[m.key] == self.rank]
+        local_payload: list[np.ndarray] = []
+        for meta in mine:
+            layer = self._layer_by_name(meta.layer)
+            factor = layer.A if meta.kind == "A" else layer.G
+            assert factor is not None, "second-order update before factor update"
+            if self.hp.use_eigen_decomp:
+                eig = eigendecompose(factor)
+                local_payload.extend([eig.Q, eig.lam])
+            else:
+                local_payload.append(explicit_damped_inverse(factor, self.damping))
+            self.n_eigs_computed_locally += 1
+        flat = pack_arrays(local_payload)
+        if self.world_size > 1:
+            gathered = yield AllGatherRequest(tensor=flat, phase="eig_comm")
+        else:
+            gathered = [flat]
+        self._install_second_order(gathered)
+
+    def _install_second_order(self, gathered: Sequence[np.ndarray]) -> None:
+        """Unpack every worker's factor shard and install into layers."""
+        per_worker: dict[int, list[FactorMeta]] = {r: [] for r in range(self.world_size)}
+        for meta in self._factor_metas:
+            per_worker[self._factor_assignment[meta.key]].append(meta)
+        for worker, metas in per_worker.items():
+            shapes: list[tuple[int, ...]] = []
+            for meta in metas:
+                if self.hp.use_eigen_decomp:
+                    shapes.extend([(meta.dim, meta.dim), (meta.dim,)])
+                else:
+                    shapes.append((meta.dim, meta.dim))
+            arrays = unpack_arrays(gathered[worker], shapes)
+            idx = 0
+            for meta in metas:
+                layer = self._layer_by_name(meta.layer)
+                if self.hp.use_eigen_decomp:
+                    eig = FactorEig(Q=arrays[idx], lam=arrays[idx + 1])
+                    idx += 2
+                    if meta.kind == "A":
+                        layer.eig_A = eig
+                    else:
+                        layer.eig_G = eig
+                else:
+                    inv = arrays[idx]
+                    idx += 1
+                    if meta.kind == "A":
+                        layer.inv_A = inv
+                    else:
+                        layer.inv_G = inv
+
+    # -- LAYER_WISE second-order update (owner keeps state local) -----------
+    def _update_second_order_layer_wise(self) -> None:
+        for layer in self.layers:
+            if self._layer_assignment[layer.name] != self.rank:
+                continue
+            if self.hp.use_eigen_decomp:
+                layer.eig_A, layer.eig_G = layer.compute_eigen()
+                self.n_eigs_computed_locally += 2
+            else:
+                layer.inv_A, layer.inv_G = layer.compute_inverses(self.damping)
+                self.n_eigs_computed_locally += 2
+
+    # -- preconditioning ------------------------------------------------
+    def _precondition_all_local(self) -> None:
+        raw = [layer.get_grad_matrix() for layer in self.layers]
+        pre = [
+            layer.precondition(g, self.damping, self.hp.use_eigen_decomp)
+            for layer, g in zip(self.layers, raw)
+        ]
+        nu = kl_clip_factor(pre, raw, self.lr, self.hp.kl_clip)
+        for layer, p in zip(self.layers, pre):
+            layer.set_grad_matrix(nu * p)
+
+    def _precondition_layer_wise(self) -> Generator[Any, Any, None]:
+        raw = [layer.get_grad_matrix() for layer in self.layers]
+        mine_payload: list[np.ndarray] = []
+        for layer, g in zip(self.layers, raw):
+            if self._layer_assignment[layer.name] == self.rank:
+                mine_payload.append(
+                    layer.precondition(g, self.damping, self.hp.use_eigen_decomp)
+                )
+        flat = pack_arrays(mine_payload)
+        if self.world_size > 1:
+            gathered = yield AllGatherRequest(tensor=flat, phase="precond_comm")
+        else:
+            gathered = [flat]
+        pre_by_layer: dict[str, np.ndarray] = {}
+        for worker in range(self.world_size):
+            metas = [
+                layer for layer in self.layers if self._layer_assignment[layer.name] == worker
+            ]
+            shapes = [(l.g_dim, l.a_dim) for l in metas]
+            arrays = unpack_arrays(gathered[worker], shapes)
+            for l, arr in zip(metas, arrays):
+                pre_by_layer[l.name] = arr
+        pre = [pre_by_layer[layer.name] for layer in self.layers]
+        nu = kl_clip_factor(pre, raw, self.lr, self.hp.kl_clip)
+        for layer, p in zip(self.layers, pre):
+            layer.set_grad_matrix(nu * p)
+
+    def _layer_by_name(self, name: str) -> KFACLayer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no K-FAC layer named {name!r}")
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Serializable snapshot: counters, knobs, factors, second-order state.
+
+        Mirrors the reference implementation's ``KFAC.state_dict`` so
+        training can resume mid-run without re-warming the running
+        averages.
+        """
+        layers: dict[str, dict[str, np.ndarray]] = {}
+        for layer in self.layers:
+            entry: dict[str, np.ndarray] = {}
+            if layer.A is not None:
+                entry["A"] = layer.A.copy()
+                entry["G"] = layer.G.copy()  # type: ignore[union-attr]
+            if layer.eig_A is not None and layer.eig_G is not None:
+                entry["eig_A_Q"] = layer.eig_A.Q.copy()
+                entry["eig_A_lam"] = layer.eig_A.lam.copy()
+                entry["eig_G_Q"] = layer.eig_G.Q.copy()
+                entry["eig_G_lam"] = layer.eig_G.lam.copy()
+            if layer.inv_A is not None and layer.inv_G is not None:
+                entry["inv_A"] = layer.inv_A.copy()
+                entry["inv_G"] = layer.inv_G.copy()
+            layers[layer.name] = entry
+        return {
+            "steps": self.steps,
+            "lr": self.lr,
+            "damping": self.damping,
+            "fac_update_freq": self.fac_update_freq,
+            "kfac_update_freq": self.kfac_update_freq,
+            "layers": layers,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.steps = int(state["steps"])
+        self.lr = float(state["lr"])
+        self.damping = float(state["damping"])
+        self.fac_update_freq = int(state["fac_update_freq"])
+        self.kfac_update_freq = int(state["kfac_update_freq"])
+        by_name = {layer.name: layer for layer in self.layers}
+        for name, entry in state["layers"].items():
+            if name not in by_name:
+                raise KeyError(f"checkpoint has unknown K-FAC layer {name!r}")
+            layer = by_name[name]
+            if "A" in entry:
+                layer.A = entry["A"].copy()
+                layer.G = entry["G"].copy()
+            if "eig_A_Q" in entry:
+                from repro.core.inverse import FactorEig
+
+                layer.eig_A = FactorEig(entry["eig_A_Q"].copy(), entry["eig_A_lam"].copy())
+                layer.eig_G = FactorEig(entry["eig_G_Q"].copy(), entry["eig_G_lam"].copy())
+            if "inv_A" in entry:
+                layer.inv_A = entry["inv_A"].copy()
+                layer.inv_G = entry["inv_G"].copy()
+
+    # ------------------------------------------------------------------
+    # convenience: run the step with no communication (world of one)
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Single-worker step (Listing 1's ``preconditioner.step()``)."""
+        if self.world_size != 1:
+            raise RuntimeError(
+                "step() is the single-worker entry point; use a driver from "
+                "repro.core.distributed for multi-worker execution"
+            )
+        gen = self.step_generator()
+        try:
+            req = next(gen)
+            while True:
+                if isinstance(req, AllReduceRequest):
+                    req = gen.send(list(req.tensors))
+                elif isinstance(req, AllGatherRequest):
+                    req = gen.send([req.tensor])
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown comm request {type(req)}")
+        except StopIteration:
+            pass

@@ -1,0 +1,77 @@
+"""K-FAC hyper-parameter schedules (§V-C).
+
+Two decays, both applied at fixed epochs:
+
+- **Damping decay** — "we reduce the damping by a fixed scalar quantity at
+  fixed epochs.  Starting with a larger damping accounts for rapid changes
+  in the FIM at the start of training."
+- **Update-frequency decay** — "At fixed training epochs, we decrease
+  kfac-update-freq by a scalar quantity to reduce the computation and
+  communication required while preserving accuracy."  (Decreasing the
+  *frequency* = multiplying the step interval.)
+
+The scheduler mutates a :class:`repro.core.preconditioner.KFAC` instance in
+place, mirroring the reference ``KFACParamScheduler``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["KFACParamScheduler"]
+
+
+class KFACParamScheduler:
+    """Epoch-driven damping and update-interval schedule for a KFAC instance.
+
+    Parameters
+    ----------
+    kfac:
+        The preconditioner to mutate (anything exposing ``damping``,
+        ``kfac_update_freq`` and ``fac_update_freq`` attributes).
+    damping_alpha:
+        Multiplier applied to the damping at each ``damping_schedule`` epoch
+        (e.g. ``0.5`` halves it).
+    damping_schedule:
+        Sorted epochs at which damping decays.
+    update_freq_alpha:
+        Multiplier applied to both update *intervals* at each
+        ``update_freq_schedule`` epoch (``> 1`` makes K-FAC updates rarer).
+    update_freq_schedule:
+        Sorted epochs at which the intervals grow.
+    """
+
+    def __init__(
+        self,
+        kfac,
+        damping_alpha: float = 1.0,
+        damping_schedule: Sequence[float] = (),
+        update_freq_alpha: float = 1.0,
+        update_freq_schedule: Sequence[float] = (),
+    ) -> None:
+        if damping_alpha <= 0:
+            raise ValueError(f"damping_alpha must be positive, got {damping_alpha}")
+        if update_freq_alpha <= 0:
+            raise ValueError(f"update_freq_alpha must be positive, got {update_freq_alpha}")
+        if sorted(damping_schedule) != list(damping_schedule):
+            raise ValueError("damping_schedule must be sorted")
+        if sorted(update_freq_schedule) != list(update_freq_schedule):
+            raise ValueError("update_freq_schedule must be sorted")
+        self.kfac = kfac
+        self.damping_alpha = damping_alpha
+        self.damping_schedule = list(damping_schedule)
+        self.update_freq_alpha = update_freq_alpha
+        self.update_freq_schedule = list(update_freq_schedule)
+        self._base_damping = float(kfac.damping)
+        self._base_kfac_freq = int(kfac.kfac_update_freq)
+        self._base_fac_freq = int(kfac.fac_update_freq)
+
+    def step(self, epoch: float) -> None:
+        """Set the K-FAC hyper-parameters appropriate for ``epoch``."""
+        n_damp = sum(1 for e in self.damping_schedule if epoch >= e)
+        self.kfac.damping = self._base_damping * self.damping_alpha**n_damp
+
+        n_freq = sum(1 for e in self.update_freq_schedule if epoch >= e)
+        factor = self.update_freq_alpha**n_freq
+        self.kfac.kfac_update_freq = max(1, int(round(self._base_kfac_freq * factor)))
+        self.kfac.fac_update_freq = max(1, int(round(self._base_fac_freq * factor)))

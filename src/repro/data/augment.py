@@ -1,0 +1,44 @@
+"""Numpy data augmentation (random crop with padding, horizontal flip).
+
+The standard CIFAR recipe the paper's training scripts use; available for
+experiments that want extra regularization realism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_crop", "random_flip", "augment_batch"]
+
+
+def random_crop(
+    x: np.ndarray, rng: np.random.Generator, padding: int = 2
+) -> np.ndarray:
+    """Random crop after zero-padding (per-sample offsets)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected NCHW batch, got {x.shape}")
+    n, c, h, w = x.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.empty_like(x)
+    offs = rng.integers(0, 2 * padding + 1, size=(n, 2))
+    for i in range(n):
+        dy, dx = offs[i]
+        out[i] = padded[i, :, dy : dy + h, dx : dx + w]
+    return out
+
+
+def random_flip(x: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Horizontal flip with probability ``p`` per sample."""
+    if x.ndim != 4:
+        raise ValueError(f"expected NCHW batch, got {x.shape}")
+    flip = rng.random(len(x)) < p
+    out = x.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def augment_batch(
+    x: np.ndarray, rng: np.random.Generator, padding: int = 2, flip_p: float = 0.5
+) -> np.ndarray:
+    """Standard crop+flip pipeline."""
+    return random_flip(random_crop(x, rng, padding), rng, flip_p)

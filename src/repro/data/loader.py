@@ -1,0 +1,70 @@
+"""Mini-batch iteration utilities."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["batch_iterator", "DataLoader"]
+
+
+def batch_iterator(
+    x: np.ndarray,
+    y: np.ndarray,
+    indices: np.ndarray,
+    batch_size: int,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` over ``indices`` in order."""
+    if len(x) != len(y):
+        raise ValueError(f"x/y length mismatch: {len(x)} vs {len(y)}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n = len(indices)
+    for lo in range(0, n, batch_size):
+        idx = indices[lo : lo + batch_size]
+        if drop_last and len(idx) < batch_size:
+            return
+        yield x[idx], y[idx]
+
+
+class DataLoader:
+    """Shuffling batch loader with deterministic per-epoch order."""
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if len(x) != len(y):
+            raise ValueError(f"x/y length mismatch: {len(x)} vs {len(y)}")
+        self.x = x
+        self.y = y
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.seed = seed
+        self.drop_last = drop_last
+        self.epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def __len__(self) -> int:
+        n = len(self.x)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.x)
+        if self.shuffle:
+            rng = np.random.default_rng(np.random.SeedSequence((self.seed, self.epoch)))
+            indices = rng.permutation(n)
+        else:
+            indices = np.arange(n)
+        yield from batch_iterator(self.x, self.y, indices, self.batch_size, self.drop_last)

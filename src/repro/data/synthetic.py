@@ -1,0 +1,186 @@
+"""Deterministic synthetic image-classification generators.
+
+Construction (per class ``k``):
+
+1. draw a smooth random *template* ``T_k`` (low-pass-filtered Gaussian
+   noise) — classes are distinguishable by spatial structure, so
+   convolutions genuinely help;
+2. scale channels/frequency bands by a log-spaced factor — the resulting
+   input covariance has a wide eigenvalue spread, i.e. the optimization
+   problem is **ill-conditioned**, which is precisely the regime where
+   second-order preconditioning (K-FAC) converges in fewer iterations than
+   SGD (the paper's central convergence claim);
+3. each sample is ``amplitude * shift(T_k) + noise``, with random
+   per-sample amplitude, circular spatial shift, and Gaussian pixel noise
+   controlling task difficulty.
+
+Everything is a pure function of the spec's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = ["SyntheticSpec", "SyntheticImageDataset", "cifar10_like", "imagenet_like"]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of a synthetic dataset.
+
+    Attributes
+    ----------
+    n_train / n_val:
+        Sample counts.
+    num_classes:
+        Number of balanced classes.
+    image_size:
+        Square image side.
+    channels:
+        Image channels.
+    noise:
+        Additive Gaussian pixel-noise std (task difficulty).
+    max_shift:
+        Maximum circular shift (pixels) applied per sample.
+    amplitude_jitter:
+        Relative std of the per-sample template amplitude.
+    conditioning:
+        Ratio between the largest and smallest channel scale (>= 1);
+        larger = more ill-conditioned inputs.
+    smoothing:
+        Gaussian blur sigma applied to templates (spatial smoothness).
+    class_pairing:
+        When > 0, classes come in *pairs* sharing a base template and
+        differing only by ``+/- class_pairing * delta`` for a small random
+        direction ``delta`` — a fine-grained discrimination task whose
+        informative gradient directions have small curvature (the
+        ill-conditioned regime where second-order methods help).
+        Requires an even ``num_classes``.
+    seed:
+        Root seed.
+    """
+
+    n_train: int = 2000
+    n_val: int = 500
+    num_classes: int = 10
+    image_size: int = 16
+    channels: int = 3
+    noise: float = 0.6
+    max_shift: int = 2
+    amplitude_jitter: float = 0.25
+    conditioning: float = 25.0
+    smoothing: float = 1.5
+    class_pairing: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_train < self.num_classes or self.n_val < 1:
+            raise ValueError("dataset too small for the class count")
+        if self.conditioning < 1.0:
+            raise ValueError(f"conditioning must be >= 1, got {self.conditioning}")
+        if self.class_pairing > 0 and self.num_classes % 2 != 0:
+            raise ValueError("class_pairing requires an even number of classes")
+
+
+class SyntheticImageDataset:
+    """Materialized synthetic dataset with train/val splits."""
+
+    def __init__(self, spec: SyntheticSpec) -> None:
+        self.spec = spec
+        rng = np.random.default_rng(spec.seed)
+        self.templates = self._make_templates(rng)
+        self.train_x, self.train_y = self._make_split(rng, spec.n_train)
+        self.val_x, self.val_y = self._make_split(rng, spec.n_val)
+
+    def _make_templates(self, rng: np.random.Generator) -> np.ndarray:
+        s = self.spec
+
+        def smooth_unit(shape: tuple[int, ...], sigma: float) -> np.ndarray:
+            raw = rng.normal(size=shape)
+            sm = ndimage.gaussian_filter(raw, sigma=(0, 0, sigma, sigma), mode="wrap")
+            norms = np.sqrt((sm**2).mean(axis=(1, 2, 3), keepdims=True))
+            return sm / np.maximum(norms, 1e-8)
+
+        if s.class_pairing > 0:
+            half = s.num_classes // 2
+            base = smooth_unit(
+                (half, s.channels, s.image_size, s.image_size), s.smoothing
+            )
+            delta = smooth_unit(
+                (half, s.channels, s.image_size, s.image_size), s.smoothing * 0.67
+            )
+            templates = np.empty(
+                (s.num_classes, s.channels, s.image_size, s.image_size)
+            )
+            templates[0::2] = base + s.class_pairing * delta
+            templates[1::2] = base - s.class_pairing * delta
+        else:
+            templates = smooth_unit(
+                (s.num_classes, s.channels, s.image_size, s.image_size), s.smoothing
+            )
+        # ill-conditioned channel scales
+        scales = np.logspace(0, np.log10(s.conditioning), s.channels)
+        scales = scales / scales.mean()
+        templates *= scales[None, :, None, None]
+        return templates.astype(np.float32)
+
+    def _make_split(
+        self, rng: np.random.Generator, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        s = self.spec
+        labels = rng.integers(0, s.num_classes, size=n)
+        x = np.empty((n, s.channels, s.image_size, s.image_size), dtype=np.float32)
+        amplitudes = 1.0 + s.amplitude_jitter * rng.standard_normal(n)
+        shifts = rng.integers(-s.max_shift, s.max_shift + 1, size=(n, 2))
+        noise = rng.normal(0.0, s.noise, size=x.shape).astype(np.float32)
+        for i in range(n):
+            t = self.templates[labels[i]]
+            if s.max_shift > 0:
+                t = np.roll(t, shift=tuple(shifts[i]), axis=(1, 2))
+            x[i] = amplitudes[i] * t
+        x += noise
+        return x, labels.astype(np.int64)
+
+    @property
+    def splits(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(train_x, train_y, val_x, val_y)``."""
+        return self.train_x, self.train_y, self.val_x, self.val_y
+
+
+def cifar10_like(
+    n_train: int = 2000,
+    n_val: int = 500,
+    image_size: int = 16,
+    seed: int = 0,
+    **kw: object,
+) -> SyntheticImageDataset:
+    """CIFAR-10 stand-in: 10 classes, 3 channels (default 16x16 for CPU)."""
+    return SyntheticImageDataset(
+        SyntheticSpec(
+            n_train=n_train, n_val=n_val, num_classes=10, image_size=image_size,
+            channels=3, seed=seed, **kw,  # type: ignore[arg-type]
+        )
+    )
+
+
+def imagenet_like(
+    n_train: int = 4000,
+    n_val: int = 1000,
+    num_classes: int = 20,
+    image_size: int = 32,
+    seed: int = 0,
+    **kw: object,
+) -> SyntheticImageDataset:
+    """ImageNet-1k stand-in, scaled (more classes, larger images, noisier)."""
+    return SyntheticImageDataset(
+        SyntheticSpec(
+            n_train=n_train, n_val=n_val, num_classes=num_classes,
+            image_size=image_size, channels=3, noise=0.8, max_shift=4,
+            seed=seed, **kw,  # type: ignore[arg-type]
+        )
+    )

@@ -1,0 +1,49 @@
+"""CLI: run paper experiments by id.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table4
+    python -m repro.experiments table1 --scale small
+    python -m repro.experiments all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+#: experiments that train (accept a ``scale`` argument)
+TRAINING_EXPERIMENTS = {"table1", "table2+fig4", "fig5", "table3+fig6", "ablation-factor-comm"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments", description=__doc__)
+    parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
+    parser.add_argument("--scale", default="tiny", help="preset for training runs")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for eid in sorted(EXPERIMENTS):
+            kind = "training" if eid in TRAINING_EXPERIMENTS else "analytic"
+            print(f"{eid:24s} [{kind}]")
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for eid in ids:
+        kwargs = {}
+        if eid in TRAINING_EXPERIMENTS:
+            kwargs = {"scale": args.scale, "seed": args.seed}
+        t0 = time.time()
+        result = run_experiment(eid, **kwargs)
+        print(result.render())
+        print(f"[{eid} took {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

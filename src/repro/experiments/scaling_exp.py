@@ -1,0 +1,84 @@
+"""Scaling experiments (paper §VI-C3/C4): Figures 7–9 and Table IV.
+
+Pure performance-model experiments at the paper's true scale (ImageNet,
+16–256 V100s).  Shape criteria:
+
+- K-FAC-opt faster than SGD on ResNet-50 at every scale, K-FAC-lw in
+  between (Fig. 7);
+- the K-FAC advantage shrinks with model depth and with scale, crossing
+  to *negative* for ResNet-152 at 256 GPUs (Fig. 9 / Table IV);
+- K-FAC-opt scales better than K-FAC-lw (its non-update iterations are
+  communication-free).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.perfmodel.scaling import PAPER_GPU_SCALES, ScalingStudy, improvement_table
+from repro.utils.tables import format_table
+
+__all__ = ["run_scaling_figure", "run_table4"]
+
+#: paper Table IV, % improvement of K-FAC-opt over SGD (for side-by-side)
+PAPER_TABLE4 = {
+    50: (20.9, 19.7, 25.2, 23.5, 17.7),
+    101: (18.4, 11.1, 15.1, 19.5, 9.7),
+    152: (8.2, 7.6, 6.0, 4.9, -11.1),
+}
+
+
+def run_scaling_figure(depth: int) -> ExperimentResult:
+    """Fig. 7 (R50) / Fig. 8 (R101) / Fig. 9 (R152): time-to-solution."""
+    fig = {50: "fig7", 101: "fig8", 152: "fig9"}.get(depth, f"scaling-{depth}")
+    study = ScalingStudy(depth=depth)
+    points = study.run()
+    eff = study.scaling_efficiency(points)
+    result = ExperimentResult(
+        fig, f"ResNet-{depth} time-to-solution vs scale (SGD / K-FAC-lw / K-FAC-opt)"
+    )
+    rows = []
+    for i, pt in enumerate(points):
+        rows.append(
+            [
+                pt.gpus,
+                f"{pt.sgd_minutes:.0f}",
+                f"{pt.kfac_lw_minutes:.0f}",
+                f"{pt.kfac_opt_minutes:.0f}",
+                f"{100 * pt.improvement_opt():.1f}%",
+                f"{eff['sgd'][i]:.3f}",
+                f"{eff['kfac-opt'][i]:.3f}",
+            ]
+        )
+    result.add(
+        format_table(
+            ["GPUs", "SGD (min)", "K-FAC-lw (min)", "K-FAC-opt (min)",
+             "opt vs SGD", "eff SGD", "eff opt"],
+            rows,
+        )
+    )
+    result.data = {
+        "points": points,
+        "efficiency": eff,
+    }
+    return result
+
+
+def run_table4() -> ExperimentResult:
+    """Table IV: K-FAC-opt improvement over SGD, models x scales."""
+    table = improvement_table()
+    result = ExperimentResult(
+        "table4", "K-FAC-opt improvement over SGD (paper Table IV, model vs paper)"
+    )
+    rows = []
+    for depth, improvements in table.items():
+        rows.append(
+            [f"ResNet-{depth} (model)"]
+            + [f"{100 * v:+.1f}%" for v in improvements]
+        )
+        rows.append(
+            [f"ResNet-{depth} (paper)"]
+            + [f"{v:+.1f}%" for v in PAPER_TABLE4[depth]]
+        )
+    result.add(format_table(["Scale"] + [str(g) for g in PAPER_GPU_SCALES], rows))
+    result.data = {"model": table, "paper": PAPER_TABLE4}
+    return result

@@ -1,0 +1,61 @@
+"""Numpy neural-network framework with explicit forward/backward.
+
+Mirrors the subset of ``torch.nn`` the paper's implementation relies on:
+``Linear``, ``Conv2d``, ``BatchNorm2d``, activations, pooling, ``Sequential``
+containers, the ResNet family, cross-entropy with label smoothing — plus the
+module *hook* mechanism K-FAC uses to capture per-layer input activations
+and output gradients ("Hooks are registered to the input and output of each
+layer", §IV-B).
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.container import Sequential
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn.metrics import topk_accuracy
+from repro.nn.resnet import (
+    ResNetConfig,
+    build_resnet,
+    resnet20_cifar,
+    resnet32_cifar,
+    resnet34,
+    resnet50,
+    resnet101,
+    resnet152,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Identity",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "topk_accuracy",
+    "ResNetConfig",
+    "build_resnet",
+    "resnet20_cifar",
+    "resnet32_cifar",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+]

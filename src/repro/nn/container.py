@@ -1,0 +1,53 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Module):
+    """Runs children in order (and in reverse order for backward).
+
+    Children are invoked through ``__call__`` / ``backprop`` so that any
+    hooks registered on them (e.g. by the K-FAC preconditioner) fire.
+    """
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for i, m in enumerate(modules):
+            name = f"m{i}"
+            setattr(self, name, m)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = f"m{len(self._order)}"
+        setattr(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Module]:
+        for name in self._order:
+            yield self._modules[name]
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._modules[self._order[idx]]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for name in reversed(self._order):
+            grad_out = self._modules[name].backprop(grad_out)
+        return grad_out

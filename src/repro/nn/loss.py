@@ -1,0 +1,85 @@
+"""Loss functions with explicit backward passes.
+
+The paper trains with softmax cross-entropy; for ImageNet runs "labels are
+smoothed with a factor of 0.1" (§VI-C1), so label smoothing is built in.
+Losses are *mean-reduced over the batch*; K-FAC's ``G``-factor computation
+de-averages them to recover per-example output gradients (see
+``repro.core.factors``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "log_softmax", "softmax"]
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax along the last axis."""
+    z = logits - logits.max(axis=-1, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=-1, keepdims=True))
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    return np.exp(log_softmax(logits))
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class targets, mean-reduced.
+
+    Parameters
+    ----------
+    label_smoothing:
+        Mixing factor ``eps``: the target distribution becomes
+        ``(1 - eps) * onehot + eps / num_classes``.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = label_smoothing
+        self._probs: np.ndarray | None = None
+        self._targets_dist: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, C) logits, got {logits.shape}")
+        n, c = logits.shape
+        if targets.shape != (n,):
+            raise ValueError(f"expected (N,) integer targets, got {targets.shape}")
+        logp = log_softmax(logits)
+        dist = np.full((n, c), self.label_smoothing / c, dtype=logits.dtype)
+        dist[np.arange(n), targets] += 1.0 - self.label_smoothing
+        self._probs = np.exp(logp)
+        self._targets_dist = dist
+        return float(-(dist * logp).sum() / n)
+
+    __call__ = forward
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits: ``(p - t) / N``."""
+        assert self._probs is not None and self._targets_dist is not None, (
+            "backward called before forward"
+        )
+        n = self._probs.shape[0]
+        return (self._probs - self._targets_dist) / n
+
+
+class MSELoss:
+    """Mean-squared error, mean-reduced over all elements."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+        self._diff = pred - target
+        return float((self._diff**2).mean())
+
+    __call__ = forward
+
+    def backward(self) -> np.ndarray:
+        assert self._diff is not None, "backward called before forward"
+        return (2.0 / self._diff.size) * self._diff

@@ -1,0 +1,209 @@
+"""Module / Parameter base classes with forward & backward hooks.
+
+Every module implements ``forward(x)`` and ``backward(grad_out)``; the
+framework provides parameter registration, recursive traversal, train/eval
+mode, state dicts (used to broadcast initial weights across simulated
+workers, exactly like ``hvd.broadcast_parameters``), and the two hook types
+K-FAC needs:
+
+- *forward hooks* fire after ``forward`` with ``(module, input, output)``
+  — K-FAC captures ``input`` to build the activation factor ``A``;
+- *backward hooks* fire at the start of ``backprop`` with
+  ``(module, grad_output)`` — K-FAC captures the gradient w.r.t. the
+  module's output to build the factor ``G``.
+
+Containers must route child calls through ``child(x)`` / ``child.backprop``
+so hooks always fire.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+__all__ = ["Parameter", "Module"]
+
+ForwardHook = Callable[["Module", np.ndarray, np.ndarray], None]
+BackwardHook = Callable[["Module", np.ndarray], None]
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.asarray(data)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and containers."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_forward_hooks", [])
+        object.__setattr__(self, "_backward_hooks", [])
+        object.__setattr__(self, "training", True)
+
+    # -- registration ---------------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state (e.g. BN running statistics)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer, keeping attribute and dict in sync."""
+        if name not in self._buffers:
+            raise KeyError(f"buffer {name!r} was never registered")
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- hooks ------------------------------------------------------------
+    def register_forward_hook(self, hook: ForwardHook) -> Callable[[], None]:
+        """Add a hook fired after forward; returns a removal callable."""
+        self._forward_hooks.append(hook)
+        return lambda: self._forward_hooks.remove(hook)
+
+    def register_backward_hook(self, hook: BackwardHook) -> Callable[[], None]:
+        """Add a hook fired at the start of backprop; returns removal callable."""
+        self._backward_hooks.append(hook)
+        return lambda: self._backward_hooks.remove(hook)
+
+    # -- compute ----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = self.forward(x)
+        for hook in self._forward_hooks:
+            hook(self, x, out)
+        return out
+
+    def backprop(self, grad_out: np.ndarray) -> np.ndarray:
+        """Run backward hooks, then the module's backward pass."""
+        for hook in self._backward_hooks:
+            hook(self, grad_out)
+        return self.backward(grad_out)
+
+    # -- traversal ----------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), p
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, b in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), b
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(child_prefix)
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # -- mode / grads -----------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- state ----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameters and buffers, keyed by dotted path."""
+        out: dict[str, np.ndarray] = {}
+        for name, p in self.named_parameters():
+            out[name] = p.data.copy()
+        for name, b in self.named_buffers():
+            out[f"buffer:{name}"] = np.asarray(b).copy()
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """In-place load; shapes must match exactly."""
+        params = dict(self.named_parameters())
+        buffer_owners = self._buffer_owners()
+        for key, value in state.items():
+            if key.startswith("buffer:"):
+                path = key[len("buffer:") :]
+                owner, bname = buffer_owners[path]
+                current = np.asarray(getattr(owner, bname))
+                if current.shape != value.shape:
+                    raise ValueError(
+                        f"buffer {path}: shape {value.shape} != {current.shape}"
+                    )
+                owner._set_buffer(bname, value.copy())
+            else:
+                if key not in params:
+                    raise KeyError(f"unknown parameter {key!r} in state dict")
+                p = params[key]
+                if p.data.shape != value.shape:
+                    raise ValueError(
+                        f"param {key}: shape {value.shape} != {p.data.shape}"
+                    )
+                p.data[...] = value
+        return None
+
+    def _buffer_owners(self) -> dict[str, tuple["Module", str]]:
+        owners: dict[str, tuple[Module, str]] = {}
+        for mod_path, module in self.named_modules():
+            for bname in module._buffers:
+                full = f"{mod_path}.{bname}" if mod_path else bname
+                owners[full] = (module, bname)
+        return owners
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"

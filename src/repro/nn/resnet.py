@@ -1,0 +1,309 @@
+"""The ResNet family (He et al. 2016), CIFAR and ImageNet variants.
+
+The paper evaluates ResNet-32 on CIFAR-10 and ResNet-50/101/152 on
+ImageNet-1k.  We provide:
+
+- CIFAR-style ResNets (3x3 stem, 3 stages of ``n`` basic blocks,
+  widths 16/32/64): ``resnet20_cifar``, ``resnet32_cifar``;
+- ImageNet-style ResNets (7x7/2 stem + maxpool, 4 stages): basic-block
+  ResNet-34 and bottleneck ResNet-50/101/152;
+- a ``width_multiplier`` / arbitrary input-size escape hatch so convergence
+  experiments can run width- and resolution-scaled variants on CPU while
+  the performance model uses the full-size architectures.
+
+Convolutions are bias-free (BatchNorm supplies the affine terms), matching
+the reference torchvision models the paper trains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.container import Sequential
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Module
+
+__all__ = [
+    "ResNetConfig",
+    "BasicBlock",
+    "Bottleneck",
+    "ResNet",
+    "build_resnet",
+    "resnet20_cifar",
+    "resnet32_cifar",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "IMAGENET_DEPTH_CONFIGS",
+]
+
+
+def _conv3x3(in_c: int, out_c: int, stride: int, rng: np.random.Generator) -> Conv2d:
+    return Conv2d(in_c, out_c, 3, stride=stride, padding=1, bias=False, rng=rng)
+
+
+def _conv1x1(in_c: int, out_c: int, stride: int, rng: np.random.Generator) -> Conv2d:
+    return Conv2d(in_c, out_c, 1, stride=stride, padding=0, bias=False, rng=rng)
+
+
+class BasicBlock(Module):
+    """Two 3x3 convs with a residual connection.  ``expansion = 1``."""
+
+    expansion = 1
+
+    def __init__(
+        self, in_c: int, out_c: int, stride: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.conv1 = _conv3x3(in_c, out_c, stride, rng)
+        self.bn1 = BatchNorm2d(out_c)
+        self.relu1 = ReLU()
+        self.conv2 = _conv3x3(out_c, out_c, 1, rng)
+        self.bn2 = BatchNorm2d(out_c)
+        if stride != 1 or in_c != out_c * self.expansion:
+            self.shortcut = Sequential(
+                _conv1x1(in_c, out_c * self.expansion, stride, rng),
+                BatchNorm2d(out_c * self.expansion),
+            )
+        else:
+            self.shortcut = Identity()
+        self.relu_out = ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.relu1(self.bn1(self.conv1(x)))
+        main = self.bn2(self.conv2(main))
+        short = self.shortcut(x)
+        return self.relu_out(main + short)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.relu_out.backprop(grad_out)
+        g_main = self.conv2.backprop(self.bn2.backprop(g))
+        g_main = self.relu1.backprop(g_main)
+        g_main = self.conv1.backprop(self.bn1.backprop(g_main))
+        g_short = self.shortcut.backprop(g)
+        return g_main + g_short
+
+
+class Bottleneck(Module):
+    """1x1 reduce -> 3x3 -> 1x1 expand(4x), residual.  ``expansion = 4``."""
+
+    expansion = 4
+
+    def __init__(
+        self, in_c: int, width: int, stride: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        out_c = width * self.expansion
+        self.conv1 = _conv1x1(in_c, width, 1, rng)
+        self.bn1 = BatchNorm2d(width)
+        self.relu1 = ReLU()
+        self.conv2 = _conv3x3(width, width, stride, rng)
+        self.bn2 = BatchNorm2d(width)
+        self.relu2 = ReLU()
+        self.conv3 = _conv1x1(width, out_c, 1, rng)
+        self.bn3 = BatchNorm2d(out_c)
+        if stride != 1 or in_c != out_c:
+            self.shortcut = Sequential(
+                _conv1x1(in_c, out_c, stride, rng), BatchNorm2d(out_c)
+            )
+        else:
+            self.shortcut = Identity()
+        self.relu_out = ReLU()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.relu1(self.bn1(self.conv1(x)))
+        main = self.relu2(self.bn2(self.conv2(main)))
+        main = self.bn3(self.conv3(main))
+        short = self.shortcut(x)
+        return self.relu_out(main + short)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.relu_out.backprop(grad_out)
+        gm = self.conv3.backprop(self.bn3.backprop(g))
+        gm = self.relu2.backprop(gm)
+        gm = self.conv2.backprop(self.bn2.backprop(gm))
+        gm = self.relu1.backprop(gm)
+        gm = self.conv1.backprop(self.bn1.backprop(gm))
+        gs = self.shortcut.backprop(g)
+        return gm + gs
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """Full architectural description of a ResNet variant.
+
+    Attributes
+    ----------
+    block:
+        ``"basic"`` or ``"bottleneck"``.
+    stage_blocks:
+        Number of residual blocks per stage.
+    stage_widths:
+        Base width of each stage (pre-expansion for bottlenecks).
+    stem:
+        ``"cifar"`` (3x3/1 conv) or ``"imagenet"`` (7x7/2 conv + 3x3/2 maxpool).
+    num_classes:
+        Classifier output dimension.
+    in_channels:
+        Input image channels.
+    width_multiplier:
+        Scales every stage width (and the stem width); used to produce
+        CPU-trainable variants with identical topology.
+    name:
+        Human-readable variant name.
+    """
+
+    block: str
+    stage_blocks: tuple[int, ...]
+    stage_widths: tuple[int, ...]
+    stem: str
+    num_classes: int = 10
+    in_channels: int = 3
+    width_multiplier: float = 1.0
+    name: str = "resnet"
+
+    def scaled_widths(self) -> tuple[int, ...]:
+        return tuple(max(1, int(round(w * self.width_multiplier))) for w in self.stage_widths)
+
+    @property
+    def expansion(self) -> int:
+        return 4 if self.block == "bottleneck" else 1
+
+
+# depth -> (block type, per-stage block counts) for ImageNet ResNets
+IMAGENET_DEPTH_CONFIGS: dict[int, tuple[str, tuple[int, ...]]] = {
+    18: ("basic", (2, 2, 2, 2)),
+    34: ("basic", (3, 4, 6, 3)),
+    50: ("bottleneck", (3, 4, 6, 3)),
+    101: ("bottleneck", (3, 4, 23, 3)),
+    152: ("bottleneck", (3, 8, 36, 3)),
+}
+
+
+class ResNet(Module):
+    """A ResNet assembled from a :class:`ResNetConfig`."""
+
+    def __init__(self, config: ResNetConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.config = config
+        widths = config.scaled_widths()
+        stem_width = widths[0]
+
+        if config.stem == "cifar":
+            self.stem = Sequential(
+                _conv3x3(config.in_channels, stem_width, 1, rng),
+                BatchNorm2d(stem_width),
+                ReLU(),
+            )
+        elif config.stem == "imagenet":
+            self.stem = Sequential(
+                Conv2d(config.in_channels, stem_width, 7, stride=2, padding=3, bias=False, rng=rng),
+                BatchNorm2d(stem_width),
+                ReLU(),
+                MaxPool2d(3, stride=2, padding=1),
+            )
+        else:
+            raise ValueError(f"unknown stem {config.stem!r}")
+
+        block_cls = Bottleneck if config.block == "bottleneck" else BasicBlock
+        stages = []
+        in_c = stem_width
+        for stage_idx, (n_blocks, width) in enumerate(zip(config.stage_blocks, widths)):
+            blocks = []
+            for b in range(n_blocks):
+                stride = 2 if (b == 0 and stage_idx > 0) else 1
+                blocks.append(block_cls(in_c, width, stride, rng))
+                in_c = width * block_cls.expansion
+            stages.append(Sequential(*blocks))
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_c, config.num_classes, bias=True, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = self.stem(x)
+        x = self.stages(x)
+        x = self.pool(x)
+        return self.fc(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g = self.fc.backprop(grad_out)
+        g = self.pool.backprop(g)
+        g = self.stages.backprop(g)
+        return self.stem.backprop(g)
+
+
+def build_resnet(config: ResNetConfig, rng: np.random.Generator | None = None) -> ResNet:
+    """Build a ResNet from an explicit config."""
+    return ResNet(config, rng)
+
+
+def _cifar_config(depth: int, **kw: object) -> ResNetConfig:
+    if (depth - 2) % 6 != 0:
+        raise ValueError(f"CIFAR ResNet depth must be 6n+2, got {depth}")
+    n = (depth - 2) // 6
+    defaults: dict = dict(
+        block="basic",
+        stage_blocks=(n, n, n),
+        stage_widths=(16, 32, 64),
+        stem="cifar",
+        num_classes=10,
+        name=f"resnet{depth}-cifar",
+    )
+    defaults.update(kw)
+    return ResNetConfig(**defaults)
+
+
+def resnet20_cifar(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
+    """CIFAR ResNet-20 (n=3)."""
+    return ResNet(_cifar_config(20, **kw), rng)
+
+
+def resnet32_cifar(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
+    """CIFAR ResNet-32 (n=5) — the paper's correctness-study model."""
+    return ResNet(_cifar_config(32, **kw), rng)
+
+
+def _imagenet_config(depth: int, **kw: object) -> ResNetConfig:
+    block, stage_blocks = IMAGENET_DEPTH_CONFIGS[depth]
+    defaults: dict = dict(
+        block=block,
+        stage_blocks=stage_blocks,
+        stage_widths=(64, 128, 256, 512),
+        stem="imagenet",
+        num_classes=1000,
+        name=f"resnet{depth}",
+    )
+    defaults.update(kw)
+    return ResNetConfig(**defaults)
+
+
+def resnet34(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
+    """ImageNet ResNet-34 (basic blocks)."""
+    return ResNet(_imagenet_config(34, **kw), rng)
+
+
+def resnet50(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
+    """ImageNet ResNet-50 (bottleneck)."""
+    return ResNet(_imagenet_config(50, **kw), rng)
+
+
+def resnet101(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
+    """ImageNet ResNet-101 (bottleneck)."""
+    return ResNet(_imagenet_config(101, **kw), rng)
+
+
+def resnet152(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
+    """ImageNet ResNet-152 (bottleneck)."""
+    return ResNet(_imagenet_config(152, **kw), rng)

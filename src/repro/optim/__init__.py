@@ -1,0 +1,32 @@
+"""First-order optimizers and learning-rate schedules.
+
+K-FAC in this paper is a *gradient preconditioner*: it rewrites
+``param.grad`` in place and any of these optimizers then applies the update
+(§IV: "our K-FAC algorithm [acts] as a gradient preconditioner such that
+K-FAC can be used in-place with any standard optimizer, such as Adam, LARS,
+or SGD").
+"""
+
+from repro.optim.base import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lars import LARS
+from repro.optim.lr_scheduler import (
+    ConstantSchedule,
+    LinearWarmupSchedule,
+    LRSchedule,
+    MultiStepSchedule,
+    PolynomialSchedule,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LARS",
+    "LRSchedule",
+    "ConstantSchedule",
+    "MultiStepSchedule",
+    "LinearWarmupSchedule",
+    "PolynomialSchedule",
+]

@@ -1,0 +1,64 @@
+"""Adam optimizer (Kingma & Ba) — one of the standard optimizers the paper's
+preconditioner is designed to compose with."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moments and optional weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        bc1 = 1.0 - b1**self._t
+        bc2 = 1.0 - b2**self._t
+        for i, p in enumerate(self.params):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            self._m[i] *= b1
+            self._m[i] += (1 - b1) * g
+            self._v[i] *= b2
+            self._v[i] += (1 - b2) * np.square(g)
+            m_hat = self._m[i] / bc1
+            v_hat = self._v[i] / bc2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(t=self._t, m=[m.copy() for m in self._m], v=[v.copy() for v in self._v])
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._t = int(state["t"])
+        self._m = [m.copy() for m in state["m"]]
+        self._v = [v.copy() for v in state["v"]]

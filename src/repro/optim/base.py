@@ -1,0 +1,39 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Holds a parameter list and a mutable learning rate.
+
+    Subclasses implement :meth:`step`.  The learning rate is a plain
+    attribute so LR schedules (and the trainer) can set it per iteration.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: Sequence[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer constructed with no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def state_dict(self) -> dict:
+        """Subclasses extend with their per-parameter state."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])

@@ -1,0 +1,56 @@
+"""LARS — Layer-wise Adaptive Rate Scaling (You et al.).
+
+The paper's §III-A discusses LARS as the leading large-batch SGD variant;
+we provide it both as a composable optimizer for the K-FAC preconditioner
+and as an additional large-batch baseline.
+
+Per layer:  local_lr = eta * ||w|| / (||g|| + wd * ||w|| + eps)
+            update via momentum on local_lr-scaled gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["LARS"]
+
+
+class LARS(Optimizer):
+    """LARS with momentum; parameters with ~zero norm fall back to plain SGD."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        trust_coefficient: float = 0.001,
+        eps: float = 1e-9,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.trust_coefficient = trust_coefficient
+        self.eps = eps
+        self._buffers = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            w_norm = float(np.linalg.norm(p.data))
+            g_norm = float(np.linalg.norm(g))
+            if w_norm > self.eps and g_norm > self.eps:
+                local_lr = self.trust_coefficient * w_norm / (g_norm + self.eps)
+            else:
+                local_lr = 1.0
+            buf = self._buffers[i]
+            buf *= self.momentum
+            buf += local_lr * g
+            p.data -= self.lr * buf

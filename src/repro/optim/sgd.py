@@ -1,0 +1,68 @@
+"""Stochastic gradient descent with momentum (the paper's baseline).
+
+Implements the PyTorch-style momentum update the paper builds on
+(momentum 0.9, optional weight decay, optional Nesterov):
+
+    buf <- mu * buf + grad (+ wd * param)
+    param <- param - lr * buf            (or lr * (grad + mu * buf) if nesterov)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with momentum, weight decay, and optional Nesterov momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._buffers: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                buf = self._buffers[i]
+                if buf is None:
+                    buf = g.astype(p.data.dtype).copy()
+                else:
+                    buf *= self.momentum
+                    buf += g
+                self._buffers[i] = buf
+                g = g + self.momentum * buf if self.nesterov else buf
+            p.data -= self.lr * g
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["buffers"] = [None if b is None else b.copy() for b in self._buffers]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._buffers = [None if b is None else b.copy() for b in state["buffers"]]

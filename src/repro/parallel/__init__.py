@@ -1,0 +1,23 @@
+"""Synchronous data-parallel training (paper Fig. 1 and §II-B).
+
+The five-step iteration — I/O, forward, gradient evaluation, gradient
+exchange, variable update — executed over simulated workers with per-phase
+wall-clock and simulated-communication accounting.
+"""
+
+from repro.parallel.sharding import ShardedIndexSampler, shard_indices
+from repro.parallel.trainer import (
+    DataParallelTrainer,
+    EpochStats,
+    TrainerConfig,
+    TrainingHistory,
+)
+
+__all__ = [
+    "shard_indices",
+    "ShardedIndexSampler",
+    "DataParallelTrainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "EpochStats",
+]

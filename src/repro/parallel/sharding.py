@@ -1,0 +1,66 @@
+"""Dataset sharding across data-parallel workers.
+
+Equivalent to PyTorch's ``DistributedSampler``: every epoch, all ranks
+derive the *same* global permutation from the shared seed + epoch number,
+then each rank takes a disjoint contiguous slice.  The dataset is padded
+(by wrapping) to a multiple of the world size so every rank sees the same
+number of samples — required for lockstep collectives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shard_indices", "ShardedIndexSampler"]
+
+
+def shard_indices(
+    n: int, world_size: int, rank: int, seed: int, epoch: int, shuffle: bool = True
+) -> np.ndarray:
+    """Indices of rank ``rank``'s shard for the given epoch.
+
+    Deterministic in ``(seed, epoch)`` and identical across ranks modulo
+    the slice taken, exactly like ``DistributedSampler.set_epoch``.
+    """
+    if world_size < 1 or not 0 <= rank < world_size:
+        raise ValueError(f"invalid rank/world_size {rank}/{world_size}")
+    if n <= 0:
+        raise ValueError(f"dataset must be non-empty, got n={n}")
+    if shuffle:
+        rng = np.random.default_rng(np.random.SeedSequence((seed, epoch)))
+        perm = rng.permutation(n)
+    else:
+        perm = np.arange(n)
+    per_rank = (n + world_size - 1) // world_size
+    # wrap-pad to a multiple of world_size, then take a *strided* slice —
+    # identical to torch's DistributedSampler.  Striding makes the union of
+    # all ranks' j-th mini-batches equal the single-process j-th batch of
+    # size world_size * B, which is what exact data-parallel equivalence
+    # requires.
+    padded = np.resize(perm, per_rank * world_size)
+    return padded[rank::world_size]
+
+
+class ShardedIndexSampler:
+    """Epoch-stateful wrapper around :func:`shard_indices`."""
+
+    def __init__(
+        self, n: int, world_size: int, rank: int, seed: int = 0, shuffle: bool = True
+    ) -> None:
+        self.n = n
+        self.world_size = world_size
+        self.rank = rank
+        self.seed = seed
+        self.shuffle = shuffle
+        self.epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def indices(self) -> np.ndarray:
+        return shard_indices(
+            self.n, self.world_size, self.rank, self.seed, self.epoch, self.shuffle
+        )
+
+    def __len__(self) -> int:
+        return (self.n + self.world_size - 1) // self.world_size

@@ -1,0 +1,90 @@
+"""FLOP and byte counts for every stage of a training iteration.
+
+All counts are derived from the symbolic layer specs (real ResNet shapes).
+Conventions: one multiply-accumulate = 2 FLOPs; backward = 2x forward
+(input-gradient + weight-gradient GEMMs).
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.specs import KfacLayerSpec, ModelSpec
+
+__all__ = [
+    "layer_forward_flops",
+    "model_forward_flops",
+    "model_backward_flops",
+    "layer_factor_flops",
+    "factor_flops",
+    "layer_factor_bytes",
+    "factor_stage_bytes",
+    "eig_flops",
+    "layer_precondition_flops",
+    "precondition_flops",
+]
+
+
+def layer_forward_flops(layer: KfacLayerSpec, batch: int) -> float:
+    """Forward GEMM FLOPs of one layer for a local batch."""
+    return 2.0 * batch * layer.spatial_positions * layer.a_dim * layer.g_dim
+
+
+def model_forward_flops(model: ModelSpec, batch: int) -> float:
+    """Forward FLOPs of the whole model (BN/activations negligible)."""
+    return sum(layer_forward_flops(l, batch) for l in model.kfac_layers)
+
+
+def model_backward_flops(model: ModelSpec, batch: int) -> float:
+    """Backward = dgrad + wgrad = 2x forward."""
+    return 2.0 * model_forward_flops(model, batch)
+
+
+def layer_factor_flops(layer: KfacLayerSpec, batch: int) -> float:
+    """FLOPs to form both covariance factors for one layer.
+
+    ``A = patches^T patches`` costs ``(N*L) * a_dim^2`` MACs and
+    ``G = g^T g`` costs ``(N*L) * g_dim^2`` MACs.
+    """
+    rows = batch * layer.spatial_positions
+    return 2.0 * rows * (layer.a_dim**2 + layer.g_dim**2)
+
+
+def factor_flops(model: ModelSpec, batch: int) -> float:
+    """FLOPs of the full factor-computation stage (per worker, local batch)."""
+    return sum(layer_factor_flops(l, batch) for l in model.kfac_layers)
+
+
+def layer_factor_bytes(layer: KfacLayerSpec, batch: int) -> float:
+    """Memory traffic of one layer's factor computation (FP32).
+
+    Reads the im2col patch matrix (``N*L*a_dim``) and the reshaped output
+    gradients (``N*L*g_dim``), writes both factors.  On GPUs this stage is
+    bandwidth-bound (the covariance GEMMs are tall-skinny), which is why
+    the measured stage time (paper Table V) tracks traffic, not FLOPs.
+    """
+    rows = batch * layer.spatial_positions
+    return 4.0 * (rows * (layer.a_dim + layer.g_dim) + layer.a_dim**2 + layer.g_dim**2)
+
+
+def factor_stage_bytes(model: ModelSpec, batch: int) -> float:
+    """Total factor-computation traffic for one local mini-batch."""
+    return sum(layer_factor_bytes(l, batch) for l in model.kfac_layers)
+
+
+def eig_flops(dim: int, coef: float = 10.0) -> float:
+    """FLOPs of one symmetric eigendecomposition, ``coef * n^3``."""
+    return coef * float(dim) ** 3
+
+
+def layer_precondition_flops(layer: KfacLayerSpec) -> float:
+    """FLOPs of Eqs. 13–15 for one layer.
+
+    Two GEMM pairs (``Q_G^T grad Q_A`` and ``Q_G V2 Q_A^T``), each
+    ``g*g*a + g*a*a`` MACs, plus the elementwise divide (negligible).
+    """
+    a, g = layer.a_dim, layer.g_dim
+    return 2.0 * 2.0 * (g * g * a + g * a * a)
+
+
+def precondition_flops(model: ModelSpec) -> float:
+    """FLOPs to precondition every layer's gradient once."""
+    return sum(layer_precondition_flops(l) for l in model.kfac_layers)

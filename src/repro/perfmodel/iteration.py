@@ -1,0 +1,324 @@
+"""Per-iteration / per-stage time model (paper Fig. 1 decomposition).
+
+Assembles stage times for the three optimizers the paper benchmarks:
+
+- **SGD**: ``T_iter = T_f + T_e + overhead + T_x`` with ``T_x`` the
+  straggler-inflated ring allreduce of the gradients;
+- **K-FAC-opt** adds, amortized over the update intervals: the factor
+  stage (bandwidth-bound compute + capture overhead + flat allreduce),
+  the slowest-worker eigendecomposition under *per-factor* round-robin
+  assignment, the eigendecomposition allgather, and a per-iteration local
+  preconditioning stage with **no communication** (the §IV-C claim);
+- **K-FAC-lw** assigns whole layers, keeps decompositions local, and must
+  allgather *preconditioned gradients every iteration* (a per-iteration
+  blocking collective, so it pays the straggler penalty — the root of its
+  worse scaling in Fig. 7).
+
+All stage times derive from the real layer shapes via
+:mod:`repro.perfmodel.costs` and the calibrated profiles in
+:mod:`repro.perfmodel.hardware`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.comm.costmodel import allgather_time, allreduce_time
+from repro.core.assignment import (
+    FactorMeta,
+    greedy_balanced_assignment,
+    layer_wise_assignment,
+    round_robin_assignment,
+    worker_costs,
+)
+from repro.perfmodel.costs import (
+    eig_flops,
+    factor_stage_bytes,
+    layer_precondition_flops,
+    model_backward_flops,
+    model_forward_flops,
+)
+from repro.perfmodel.hardware import ClusterProfile, DeviceProfile
+from repro.perfmodel.specs import ModelSpec
+
+__all__ = ["KfacIntervals", "IterationModel", "StageProfile"]
+
+
+@dataclass(frozen=True)
+class KfacIntervals:
+    """Update intervals in iterations.
+
+    ``eig_interval`` is the paper's *K-FAC update frequency* knob; factors
+    are refreshed/communicated 10x more often (§V-C).
+    """
+
+    eig_interval: int
+    fac_interval: int
+
+    @classmethod
+    def from_eig_interval(cls, eig_interval: int) -> "KfacIntervals":
+        if eig_interval < 1:
+            raise ValueError(f"eig_interval must be >= 1, got {eig_interval}")
+        return cls(eig_interval=eig_interval, fac_interval=max(1, eig_interval // 10))
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """Table V row: per-stage compute and communication seconds."""
+
+    factor_tcomp: float
+    factor_tcomm: float
+    eig_tcomp: float
+    eig_tcomm: float
+
+
+class IterationModel:
+    """Stage/iteration/epoch times for one model on one cluster."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        device: DeviceProfile,
+        cluster: ClusterProfile,
+        local_batch: int = 32,
+    ) -> None:
+        if local_batch < 1:
+            raise ValueError(f"local_batch must be >= 1, got {local_batch}")
+        self.model = model
+        self.device = device
+        self.cluster = cluster
+        self.local_batch = local_batch
+        self._factor_metas = self._build_metas()
+
+    def _build_metas(self) -> list[FactorMeta]:
+        metas: list[FactorMeta] = []
+        for l in self.model.kfac_layers:
+            metas.append(FactorMeta(l.name, "A", l.a_dim))
+        for l in self.model.kfac_layers:
+            metas.append(FactorMeta(l.name, "G", l.g_dim))
+        return metas
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.model.kfac_layers)
+
+    # ------------------------------------------------------------------
+    # base (SGD) stages
+    # ------------------------------------------------------------------
+    def effective_gemm_flops(self) -> float:
+        """Per-model GEMM throughput (bigger layers run closer to peak)."""
+        img_flops = model_forward_flops(self.model, 1)
+        ratio = img_flops / self.device.gemm_ref_image_flops
+        lo, hi = self.device.gemm_eff_bounds
+        eff = min(max(ratio**self.device.gemm_scaling_exp, lo), hi)
+        return self.device.gemm_flops * eff
+
+    def forward_time(self) -> float:
+        return model_forward_flops(self.model, self.local_batch) / self.effective_gemm_flops()
+
+    def backward_time(self) -> float:
+        return model_backward_flops(self.model, self.local_batch) / self.effective_gemm_flops()
+
+    def grad_exchange_time(self, p: int) -> float:
+        """Straggler-inflated fused ring allreduce of all gradients."""
+        if p <= 1:
+            return 0.0
+        base = allreduce_time(self.model.grad_bytes, p, self.cluster.net)
+        return base * self.cluster.sync_penalty(p)
+
+    def sgd_iteration_time(self, p: int) -> float:
+        return (
+            self.forward_time()
+            + self.backward_time()
+            + self.device.per_iter_overhead
+            + self.grad_exchange_time(p)
+        )
+
+    # ------------------------------------------------------------------
+    # K-FAC factor stage
+    # ------------------------------------------------------------------
+    def factor_compute_time(self) -> float:
+        """Factor-computation time — constant in P (Table V ``Tcomp``,
+        the Fig. 10 quantity).
+
+        Patch-traffic term plus a per-layer kernel-overhead term that
+        grows ``~L^1.7`` — the paper's own Tcomp measurements grow
+        super-linearly in model size (36.8 -> 218.4 ms for 2.35x params).
+        """
+        traffic = factor_stage_bytes(self.model, self.local_batch) / self.device.factor_bandwidth
+        overhead = self.device.factor_layer_coef * float(self.n_layers) ** self.device.factor_layer_exp
+        return traffic + overhead
+
+    def factor_capture_overhead(self) -> float:
+        """Hook-capture / running-average dispatch overhead per update.
+
+        Calibrated ~quadratic in layer count (see hardware.py); this is the
+        super-linear model-complexity term behind the paper's §VI-C4
+        deterioration analysis.
+        """
+        return self.device.factor_capture_coef * float(self.n_layers) ** 2
+
+    def factor_comm_time(self, p: int) -> float:
+        """Allreduce of all running-average factors (one op per factor).
+
+        Rare and bandwidth-dominated — empirically flat in P (Table V), so
+        no straggler penalty.
+        """
+        if p <= 1:
+            return 0.0
+        base = allreduce_time(self.model.factor_bytes, p, self.cluster.net)
+        return base + self.cluster.op_launch * self.model.n_factors
+
+    def factor_stage_time(self, p: int) -> float:
+        """Full factor-update cost: compute + capture overhead + comm."""
+        return self.factor_compute_time() + self.factor_capture_overhead() + self.factor_comm_time(p)
+
+    # ------------------------------------------------------------------
+    # K-FAC eigendecomposition stage
+    # ------------------------------------------------------------------
+    def _eig_seconds(self, dim: int) -> float:
+        return (
+            eig_flops(dim, self.device.eig_flop_coef) / self.device.eig_flops
+            + self.device.eig_factor_overhead
+        )
+
+    def eig_worker_times(self, p: int, strategy: str, policy: str = "round_robin") -> list[float]:
+        """Per-worker eigendecomposition seconds for one K-FAC update.
+
+        ``strategy``: ``"comm-opt"`` assigns individual factors;
+        ``"layer-wise"`` assigns whole layers (both factors co-located).
+        """
+        if strategy == "comm-opt":
+            if policy == "greedy":
+                assignment = greedy_balanced_assignment(self._factor_metas, p)
+            else:
+                assignment = round_robin_assignment(self._factor_metas, p)
+            return worker_costs(
+                self._factor_metas, assignment, p,
+                cost_fn=lambda m: self._eig_seconds(m.dim),
+            )
+        if strategy == "layer-wise":
+            layer_assignment = layer_wise_assignment(
+                [l.name for l in self.model.kfac_layers], p
+            )
+            loads = [0.0] * p
+            for l in self.model.kfac_layers:
+                loads[layer_assignment[l.name]] += self._eig_seconds(l.a_dim) + self._eig_seconds(
+                    l.g_dim
+                )
+            return loads
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    def eig_stage_time(self, p: int, strategy: str, policy: str = "round_robin") -> float:
+        """Slowest-worker eigendecomposition time (the stage is a barrier)."""
+        return max(self.eig_worker_times(p, strategy, policy))
+
+    def eig_comm_time(self, p: int) -> float:
+        """Allgather of all eigendecompositions (K-FAC-opt only; flat in P)."""
+        if p <= 1:
+            return 0.0
+        base = allgather_time(self.model.eig_bytes, p, self.cluster.net)
+        return base + self.cluster.op_launch * self.model.n_factors * 2
+
+    # ------------------------------------------------------------------
+    # K-FAC preconditioning stage
+    # ------------------------------------------------------------------
+    def _precond_layer_time(self, layer_flops: float) -> float:
+        overhead = self.device.precond_layer_coef * self.n_layers
+        return layer_flops / self.device.precond_flops + overhead
+
+    def precondition_time_all(self) -> float:
+        """Precondition every layer locally (K-FAC-opt per-iteration stage)."""
+        return sum(
+            self._precond_layer_time(layer_precondition_flops(l))
+            for l in self.model.kfac_layers
+        )
+
+    def precondition_time_layer_wise(self, p: int) -> float:
+        """Slowest owner's preconditioning time (K-FAC-lw per-iteration)."""
+        assignment = layer_wise_assignment([l.name for l in self.model.kfac_layers], p)
+        loads = [0.0] * p
+        for l in self.model.kfac_layers:
+            loads[assignment[l.name]] += self._precond_layer_time(
+                layer_precondition_flops(l)
+            )
+        return max(loads)
+
+    def precond_gather_time(self, p: int) -> float:
+        """Allgather of preconditioned gradients (K-FAC-lw, EVERY iteration).
+
+        Per-iteration blocking collective => straggler penalty applies.
+        """
+        if p <= 1:
+            return 0.0
+        base = allgather_time(self.model.grad_bytes, p, self.cluster.net)
+        launches = self.cluster.op_launch * self.n_layers
+        return base * self.cluster.sync_penalty(p) + launches
+
+    # ------------------------------------------------------------------
+    # amortized iteration & epoch times
+    # ------------------------------------------------------------------
+    def kfac_iteration_time(
+        self,
+        p: int,
+        strategy: str,
+        intervals: KfacIntervals,
+        policy: str = "round_robin",
+    ) -> float:
+        """Average per-iteration time including amortized K-FAC stages."""
+        base = self.sgd_iteration_time(p)
+        per_fac = self.factor_stage_time(p)
+        if strategy == "comm-opt":
+            per_eig = self.eig_stage_time(p, strategy, policy) + self.eig_comm_time(p)
+            per_iter = self.precondition_time_all()
+        elif strategy == "layer-wise":
+            per_eig = self.eig_stage_time(p, strategy)
+            per_iter = self.precondition_time_layer_wise(p) + self.precond_gather_time(p)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        return (
+            base
+            + per_iter
+            + per_fac / intervals.fac_interval
+            + per_eig / intervals.eig_interval
+        )
+
+    def iterations_per_epoch(self, p: int, dataset_size: int) -> int:
+        global_batch = self.local_batch * p
+        return (dataset_size + global_batch - 1) // global_batch
+
+    def epoch_time(
+        self,
+        p: int,
+        optimizer: str,
+        dataset_size: int,
+        intervals: KfacIntervals | None = None,
+        policy: str = "round_robin",
+    ) -> float:
+        """Seconds per epoch for ``optimizer`` in {"sgd","kfac-opt","kfac-lw"}."""
+        iters = self.iterations_per_epoch(p, dataset_size)
+        if optimizer == "sgd":
+            return iters * self.sgd_iteration_time(p)
+        if intervals is None:
+            raise ValueError("K-FAC epoch time requires update intervals")
+        strategy = {"kfac-opt": "comm-opt", "kfac-lw": "layer-wise"}.get(optimizer)
+        if strategy is None:
+            raise ValueError(f"unknown optimizer {optimizer!r}")
+        return iters * self.kfac_iteration_time(p, strategy, intervals, policy)
+
+    # ------------------------------------------------------------------
+    # Table V profile
+    # ------------------------------------------------------------------
+    def stage_profile(self, p: int, policy: str = "round_robin") -> StageProfile:
+        """Per-update-step stage profile (the paper's Table V row).
+
+        ``factor_tcomp`` is the covariance-GEMM time only, matching what
+        Table V instruments (the capture overhead shows up in iteration
+        times instead — see hardware.py notes).
+        """
+        return StageProfile(
+            factor_tcomp=self.factor_compute_time(),
+            factor_tcomm=self.factor_comm_time(p),
+            eig_tcomp=self.eig_stage_time(p, "comm-opt", policy),
+            eig_tcomm=self.eig_comm_time(p),
+        )

@@ -1,0 +1,195 @@
+"""Symbolic K-FAC layer specs for the ResNet family.
+
+Walks the architecture definitions from :mod:`repro.nn.resnet` *without
+instantiating weights* and yields, per K-FAC-supported layer, the factor
+dimensions and spatial extent — everything the cost model and the
+assignment-imbalance analysis (Table VI) need.  Using the genuine
+ResNet-50/101/152 shapes is what makes the reproduced imbalance numbers
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nn.resnet import IMAGENET_DEPTH_CONFIGS
+from repro.tensor.im2col import conv_out_size
+
+__all__ = ["KfacLayerSpec", "ModelSpec", "resnet_spec", "cifar_resnet_spec"]
+
+
+@dataclass(frozen=True)
+class KfacLayerSpec:
+    """Shape summary of one K-FAC-supported layer.
+
+    Attributes
+    ----------
+    name:
+        Dotted layer path.
+    kind:
+        ``"conv"`` or ``"linear"``.
+    a_dim:
+        Activation-factor dimension (``C_in*kh*kw`` for conv, ``in+1`` for
+        the biased linear classifier).
+    g_dim:
+        Gradient-factor dimension (``C_out`` / ``out``).
+    spatial_positions:
+        ``L = OH*OW`` of the layer output (1 for linear) — enters the
+        factor-computation cost.
+    weight_params:
+        Scalar parameter count (weight + bias).
+    """
+
+    name: str
+    kind: str
+    a_dim: int
+    g_dim: int
+    spatial_positions: int
+    weight_params: int
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A full model's K-FAC view plus aggregate parameter count."""
+
+    name: str
+    kfac_layers: tuple[KfacLayerSpec, ...] = field(default_factory=tuple)
+    bn_params: int = 0
+
+    @property
+    def total_params(self) -> int:
+        return sum(l.weight_params for l in self.kfac_layers) + self.bn_params
+
+    @property
+    def grad_bytes(self) -> int:
+        """FP32 gradient payload exchanged every iteration."""
+        return 4 * self.total_params
+
+    @property
+    def factor_bytes(self) -> int:
+        """FP32 payload of all Kronecker factors (A and G)."""
+        return 4 * sum(l.a_dim**2 + l.g_dim**2 for l in self.kfac_layers)
+
+    @property
+    def eig_bytes(self) -> int:
+        """FP32 payload of all eigendecompositions (Q matrices + eigenvalues)."""
+        return 4 * sum(
+            l.a_dim**2 + l.a_dim + l.g_dim**2 + l.g_dim for l in self.kfac_layers
+        )
+
+    @property
+    def n_factors(self) -> int:
+        return 2 * len(self.kfac_layers)
+
+
+class _SpecBuilder:
+    """Accumulates layer specs while walking an architecture."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.layers: list[KfacLayerSpec] = []
+        self.bn_params = 0
+
+    def conv(
+        self, name: str, in_c: int, out_c: int, k: int, stride: int, padding: int,
+        size: int,
+    ) -> int:
+        """Record a conv layer; returns the output spatial size."""
+        out_size = conv_out_size(size, k, stride, padding)
+        self.layers.append(
+            KfacLayerSpec(
+                name=name,
+                kind="conv",
+                a_dim=in_c * k * k,
+                g_dim=out_c,
+                spatial_positions=out_size * out_size,
+                weight_params=out_c * in_c * k * k,
+            )
+        )
+        return out_size
+
+    def bn(self, channels: int) -> None:
+        self.bn_params += 2 * channels
+
+    def linear(self, name: str, in_f: int, out_f: int) -> None:
+        self.layers.append(
+            KfacLayerSpec(
+                name=name,
+                kind="linear",
+                a_dim=in_f + 1,
+                g_dim=out_f,
+                spatial_positions=1,
+                weight_params=out_f * in_f + out_f,
+            )
+        )
+
+    def build(self) -> ModelSpec:
+        return ModelSpec(self.name, tuple(self.layers), self.bn_params)
+
+
+def resnet_spec(depth: int, input_size: int = 224, num_classes: int = 1000) -> ModelSpec:
+    """K-FAC spec of an ImageNet-style ResNet at the given input size."""
+    if depth not in IMAGENET_DEPTH_CONFIGS:
+        raise ValueError(f"unsupported depth {depth}; choose from {sorted(IMAGENET_DEPTH_CONFIGS)}")
+    block, stage_blocks = IMAGENET_DEPTH_CONFIGS[depth]
+    widths = (64, 128, 256, 512)
+    expansion = 4 if block == "bottleneck" else 1
+    b = _SpecBuilder(f"resnet{depth}")
+
+    size = b.conv("stem.conv", 3, widths[0], 7, 2, 3, input_size)
+    b.bn(widths[0])
+    size = conv_out_size(size, 3, 2, 1)  # maxpool
+
+    in_c = widths[0]
+    for stage_idx, (n_blocks, width) in enumerate(zip(stage_blocks, widths)):
+        for blk in range(n_blocks):
+            stride = 2 if (blk == 0 and stage_idx > 0) else 1
+            prefix = f"stage{stage_idx}.block{blk}"
+            out_c = width * expansion
+            if block == "bottleneck":
+                size_in = size
+                b.conv(f"{prefix}.conv1", in_c, width, 1, 1, 0, size_in)
+                b.bn(width)
+                size = b.conv(f"{prefix}.conv2", width, width, 3, stride, 1, size_in)
+                b.bn(width)
+                b.conv(f"{prefix}.conv3", width, out_c, 1, 1, 0, size)
+                b.bn(out_c)
+            else:
+                size_in = size
+                size = b.conv(f"{prefix}.conv1", in_c, width, 3, stride, 1, size_in)
+                b.bn(width)
+                b.conv(f"{prefix}.conv2", width, width, 3, 1, 1, size)
+                b.bn(width)
+            if stride != 1 or in_c != out_c:
+                b.conv(f"{prefix}.shortcut", in_c, out_c, 1, stride, 0, size_in)
+                b.bn(out_c)
+            in_c = out_c
+    b.linear("fc", in_c, num_classes)
+    return b.build()
+
+
+def cifar_resnet_spec(depth: int, input_size: int = 32, num_classes: int = 10) -> ModelSpec:
+    """K-FAC spec of a CIFAR-style ResNet (6n+2 layers)."""
+    if (depth - 2) % 6 != 0:
+        raise ValueError(f"CIFAR ResNet depth must be 6n+2, got {depth}")
+    n = (depth - 2) // 6
+    widths = (16, 32, 64)
+    b = _SpecBuilder(f"resnet{depth}-cifar")
+    size = b.conv("stem.conv", 3, widths[0], 3, 1, 1, input_size)
+    b.bn(widths[0])
+    in_c = widths[0]
+    for stage_idx, width in enumerate(widths):
+        for blk in range(n):
+            stride = 2 if (blk == 0 and stage_idx > 0) else 1
+            prefix = f"stage{stage_idx}.block{blk}"
+            size_in = size
+            size = b.conv(f"{prefix}.conv1", in_c, width, 3, stride, 1, size_in)
+            b.bn(width)
+            b.conv(f"{prefix}.conv2", width, width, 3, 1, 1, size)
+            b.bn(width)
+            if stride != 1 or in_c != width:
+                b.conv(f"{prefix}.shortcut", in_c, width, 1, stride, 0, size_in)
+                b.bn(width)
+            in_c = width
+    b.linear("fc", in_c, num_classes)
+    return b.build()

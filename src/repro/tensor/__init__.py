@@ -1,0 +1,28 @@
+"""Low-level numerical kernels for the numpy neural-network framework.
+
+All kernels operate on NCHW ``float32`` arrays (the paper trains in FP32)
+and are fully vectorized: convolution is im2col + GEMM, which both gives
+BLAS-level throughput and produces exactly the patch matrices the K-FAC
+``A`` factors are built from (Grosse & Martens' KFC formulation).
+"""
+
+from repro.tensor.im2col import col2im, conv_out_size, im2col
+from repro.tensor.initializers import (
+    kaiming_normal,
+    kaiming_uniform,
+    xavier_uniform,
+    zeros_init,
+)
+
+DEFAULT_DTYPE = "float32"
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "im2col",
+    "col2im",
+    "conv_out_size",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "zeros_init",
+]

@@ -1,0 +1,119 @@
+"""im2col / col2im transforms for NCHW tensors.
+
+``im2col`` lowers convolution to matrix multiplication and, crucially for
+this reproduction, its output *is* the expanded-activation matrix whose
+second moment is the K-FAC ``A`` factor for Conv2d layers: each row is one
+receptive-field patch of shape ``C_in * kh * kw`` at one spatial location of
+one example.
+
+The forward transform uses ``sliding_window_view`` (zero-copy until the
+final reshape); the inverse uses a kernel-position loop of strided
+slice-adds, which is the standard vectorized scatter for overlap-add.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = ["conv_out_size", "im2col", "col2im"]
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output size: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray,
+    kernel_size: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> np.ndarray:
+    """Extract convolution patches.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel_size, stride, padding:
+        ``(height, width)`` pairs.
+
+    Returns
+    -------
+    numpy.ndarray
+        Patch matrix of shape ``(N * OH * OW, C * kh * kw)``.  The column
+        layout is ``(C, kh, kw)`` flattened C-contiguously, matching
+        ``weight.reshape(C_out, -1)``.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"im2col expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    oh = conv_out_size(h, kh, sh, ph)
+    ow = conv_out_size(w, kw, sw, pw)
+
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    # (N, C, H', W') -> windows (N, C, OH_full, OW_full, kh, kw)
+    windows = sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw]
+    assert windows.shape[2] == oh and windows.shape[3] == ow
+    # -> (N, OH, OW, C, kh, kw) -> (N*OH*OW, C*kh*kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel_size: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> np.ndarray:
+    """Adjoint of :func:`im2col` (overlap-add scatter back to NCHW).
+
+    Parameters
+    ----------
+    cols:
+        Patch matrix of shape ``(N * OH * OW, C * kh * kw)``.
+    x_shape:
+        Shape of the original (unpadded) input.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``x_shape`` where every patch value has been added
+        back into its source position.
+    """
+    n, c, h, w = x_shape
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    oh = conv_out_size(h, kh, sh, ph)
+    ow = conv_out_size(w, kw, sw, pw)
+    if cols.shape != (n * oh * ow, c * kh * kw):
+        raise ValueError(
+            f"col2im shape mismatch: cols {cols.shape}, "
+            f"expected {(n * oh * ow, c * kh * kw)}"
+        )
+
+    patches = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    # patches: (N, C, kh, kw, OH, OW)
+    out = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        h_end = i + sh * oh
+        for j in range(kw):
+            w_end = j + sw * ow
+            out[:, :, i:h_end:sh, j:w_end:sw] += patches[:, :, i, j]
+    if ph or pw:
+        out = out[:, :, ph : ph + h, pw : pw + w]
+    return np.ascontiguousarray(out)

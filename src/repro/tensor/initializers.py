@@ -1,0 +1,70 @@
+"""Weight initializers (PyTorch-compatible semantics).
+
+ResNets use Kaiming-normal with ``fan_out`` for conv weights and
+uniform-fan-in for linear layers; matching these matters for reproducing
+the paper's early-epoch optimization behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "kaiming_uniform", "xavier_uniform", "zeros_init"]
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """``(fan_in, fan_out)`` for linear ``(out, in)`` or conv ``(out, in, kh, kw)``."""
+    if len(shape) == 2:
+        out_f, in_f = shape
+        return in_f, out_f
+    if len(shape) == 4:
+        out_c, in_c, kh, kw = shape
+        receptive = kh * kw
+        return in_c * receptive, out_c * receptive
+    raise ValueError(f"unsupported weight shape for fan computation: {shape}")
+
+
+def kaiming_normal(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    mode: str = "fan_out",
+    nonlinearity_gain: float = math.sqrt(2.0),
+    dtype: str = "float32",
+) -> np.ndarray:
+    """He-normal initialization: ``N(0, gain^2 / fan)``."""
+    fan_in, fan_out = _fans(shape)
+    fan = fan_out if mode == "fan_out" else fan_in
+    std = nonlinearity_gain / math.sqrt(fan)
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    a: float = math.sqrt(5.0),
+    dtype: str = "float32",
+) -> np.ndarray:
+    """He-uniform with leaky-relu slope ``a`` (PyTorch's Linear default)."""
+    fan_in, _ = _fans(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    gain: float = 1.0,
+    dtype: str = "float32",
+) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def zeros_init(shape: tuple[int, ...], dtype: str = "float32") -> np.ndarray:
+    """All-zeros array (bias default)."""
+    return np.zeros(shape, dtype=dtype)

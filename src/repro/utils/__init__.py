@@ -1,0 +1,16 @@
+"""Small shared utilities: RNG management, timers, tables, logging."""
+
+from repro.utils.rng import RngPool, seed_everything, spawn_rng
+from repro.utils.timer import Stopwatch, Timer, TimerRegistry
+from repro.utils.tables import format_series, format_table
+
+__all__ = [
+    "RngPool",
+    "seed_everything",
+    "spawn_rng",
+    "Stopwatch",
+    "Timer",
+    "TimerRegistry",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,38 @@
+"""Tiny logging helper: a namespaced stdout logger with verbosity levels.
+
+Kept dependency-free (no ``logging`` configuration side effects) so library
+users can embed ``repro`` without inheriting global logging state.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+__all__ = ["Logger", "NULL_LOGGER"]
+
+
+class Logger:
+    """Minimal leveled logger.
+
+    Levels: 0 = silent, 1 = info, 2 = debug.
+    """
+
+    def __init__(self, name: str, level: int = 1, stream: TextIO | None = None) -> None:
+        self.name = name
+        self.level = level
+        self.stream = stream if stream is not None else sys.stdout
+
+    def info(self, msg: str) -> None:
+        if self.level >= 1:
+            print(f"[{self.name}] {msg}", file=self.stream)
+
+    def debug(self, msg: str) -> None:
+        if self.level >= 2:
+            print(f"[{self.name}:debug] {msg}", file=self.stream)
+
+    def child(self, suffix: str) -> "Logger":
+        return Logger(f"{self.name}.{suffix}", self.level, self.stream)
+
+
+NULL_LOGGER = Logger("null", level=0)

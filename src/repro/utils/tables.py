@@ -1,0 +1,82 @@
+"""ASCII table / series formatting for experiment output.
+
+The experiment runners print results in the same row/column layout as the
+paper's tables so that paper-vs-measured comparison is immediate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; each row must have ``len(headers)`` entries.
+    title:
+        Optional title line printed above the table.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def render_row(cells: Sequence[str]) -> str:
+        inner = " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        return f"| {inner} |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(render_row(headers))
+    lines.append(sep)
+    for r in str_rows:
+        lines.append(render_row(r))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[Any],
+    ys: Sequence[Any],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a figure series as aligned ``x -> y`` pairs.
+
+    Used for the paper's figures (accuracy curves, time-to-solution vs
+    scale) where a plot is summarised as its underlying series.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    lines = [f"series: {name} ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_cell(x):>10} -> {_cell(y)}")
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Ring collective algorithms: bit-level correctness and properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.collectives import (
+    binomial_broadcast,
+    chunk_bounds,
+    ring_allgather,
+    ring_allreduce,
+    ring_reduce_scatter,
+)
+
+
+class TestChunkBounds:
+    def test_even_split(self):
+        assert chunk_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_ragged_split(self):
+        bounds = chunk_bounds(10, 4)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sizes == [3, 3, 2, 2]
+        assert bounds[-1][1] == 10
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(0, 1000), p=st.integers(1, 32))
+    def test_partition_property(self, n, p):
+        bounds = chunk_bounds(n, p)
+        assert len(bounds) == p
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+            assert a1 == b0 and a1 >= a0 and b1 >= b0
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_sum_matches_reference(self, p, rng):
+        bufs = [rng.normal(size=(5, 3)) for _ in range(p)]
+        out = ring_allreduce(bufs)
+        want = np.sum(bufs, axis=0)
+        for r in range(p):
+            np.testing.assert_allclose(out[r], want, rtol=1e-12)
+
+    def test_all_ranks_identical(self, rng):
+        bufs = [rng.normal(size=17).astype(np.float32) for _ in range(5)]
+        out = ring_allreduce(bufs)
+        for r in range(1, 5):
+            np.testing.assert_array_equal(out[0], out[r])
+
+    def test_payload_smaller_than_world(self, rng):
+        """n < p leaves some chunks empty; result must still be exact."""
+        bufs = [rng.normal(size=2) for _ in range(6)]
+        out = ring_allreduce(bufs)
+        np.testing.assert_allclose(out[3], np.sum(bufs, axis=0), rtol=1e-12)
+
+    def test_inputs_not_mutated(self, rng):
+        bufs = [rng.normal(size=8) for _ in range(3)]
+        copies = [b.copy() for b in bufs]
+        ring_allreduce(bufs)
+        for b, c in zip(bufs, copies):
+            np.testing.assert_array_equal(b, c)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            ring_allreduce([np.zeros(3), np.zeros(4)])
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        p=st.integers(1, 8),
+        n=st.integers(1, 40),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_matches_numpy_sum(self, p, n, seed):
+        r = np.random.default_rng(seed)
+        bufs = [r.normal(size=n) for _ in range(p)]
+        out = ring_allreduce(bufs)
+        want = np.sum(bufs, axis=0)
+        for res in out:
+            np.testing.assert_allclose(res, want, rtol=1e-10, atol=1e-12)
+
+
+class TestReduceScatter:
+    def test_ownership_layout(self, rng):
+        """Rank r owns chunk (r+1) % p of the sum."""
+        p = 4
+        bufs = [rng.normal(size=8) for _ in range(p)]
+        owned = ring_reduce_scatter(bufs)
+        total = np.sum(bufs, axis=0)
+        bounds = chunk_bounds(8, p)
+        for r in range(p):
+            lo, hi = bounds[(r + 1) % p]
+            np.testing.assert_allclose(owned[r], total[lo:hi], rtol=1e-12)
+
+    def test_single_rank(self, rng):
+        buf = rng.normal(size=5)
+        out = ring_reduce_scatter([buf])
+        np.testing.assert_array_equal(out[0], buf)
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_all_contributions_arrive(self, p, rng):
+        contribs = [rng.normal(size=r + 1) for r in range(p)]
+        gathered = ring_allgather(contribs)
+        for r in range(p):
+            assert len(gathered[r]) == p
+            for i in range(p):
+                np.testing.assert_array_equal(gathered[r][i], contribs[i])
+
+    def test_copies_are_independent(self, rng):
+        contribs = [rng.normal(size=3) for _ in range(2)]
+        gathered = ring_allgather(contribs)
+        gathered[0][1][...] = 0.0
+        assert not np.all(gathered[1][1] == 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ring_allgather([])
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("p,root", [(1, 0), (4, 0), (5, 3), (8, 7)])
+    def test_everyone_receives_copy(self, p, root, rng):
+        value = rng.normal(size=(2, 2))
+        out = binomial_broadcast(value, p, root)
+        assert len(out) == p
+        for copy in out:
+            np.testing.assert_array_equal(copy, value)
+            assert copy is not value
+
+    def test_bad_root_raises(self):
+        with pytest.raises(ValueError):
+            binomial_broadcast(np.zeros(1), 4, root=4)

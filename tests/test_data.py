@@ -1,0 +1,183 @@
+"""Synthetic datasets, loaders, sharding, augmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.augment import augment_batch, random_crop, random_flip
+from repro.data.loader import DataLoader, batch_iterator
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec, cifar10_like, imagenet_like
+from repro.parallel.sharding import ShardedIndexSampler, shard_indices
+
+
+class TestSynthetic:
+    def test_shapes_and_dtypes(self):
+        ds = cifar10_like(n_train=64, n_val=32, image_size=8)
+        tx, ty, vx, vy = ds.splits
+        assert tx.shape == (64, 3, 8, 8) and tx.dtype == np.float32
+        assert ty.shape == (64,) and ty.dtype == np.int64
+        assert vx.shape == (32, 3, 8, 8)
+
+    def test_deterministic_in_seed(self):
+        a = cifar10_like(n_train=32, n_val=16, image_size=8, seed=3)
+        b = cifar10_like(n_train=32, n_val=16, image_size=8, seed=3)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.train_y, b.train_y)
+
+    def test_different_seeds_differ(self):
+        a = cifar10_like(n_train=32, n_val=16, image_size=8, seed=3)
+        b = cifar10_like(n_train=32, n_val=16, image_size=8, seed=4)
+        assert not np.allclose(a.train_x, b.train_x)
+
+    def test_all_classes_present(self):
+        ds = cifar10_like(n_train=500, n_val=100, image_size=8)
+        assert set(np.unique(ds.train_y)) == set(range(10))
+
+    def test_channel_conditioning_applied(self):
+        spec = SyntheticSpec(
+            n_train=64, n_val=16, image_size=8, conditioning=100.0, noise=0.0,
+            max_shift=0, amplitude_jitter=0.0,
+        )
+        ds = SyntheticImageDataset(spec)
+        stds = ds.train_x.std(axis=(0, 2, 3))
+        assert stds[-1] / stds[0] > 10  # wide per-channel scale spread
+
+    def test_class_pairing_makes_pairs_similar(self):
+        spec = SyntheticSpec(
+            n_train=32, n_val=16, num_classes=10, image_size=8,
+            class_pairing=0.2, noise=0.0, max_shift=0,
+        )
+        ds = SyntheticImageDataset(spec)
+        t = ds.templates
+        within = np.linalg.norm(t[0] - t[1])
+        across = np.linalg.norm(t[0] - t[2])
+        assert within < across
+
+    def test_class_pairing_requires_even_classes(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_classes=9, class_pairing=0.2)
+
+    def test_imagenet_like_defaults(self):
+        ds = imagenet_like(n_train=40, n_val=20, num_classes=4, image_size=12)
+        assert ds.train_x.shape == (40, 3, 12, 12)
+        assert ds.spec.num_classes == 4
+
+    def test_learnable_signal_exists(self):
+        """A nearest-template classifier beats chance on the val split."""
+        ds = cifar10_like(n_train=50, n_val=200, image_size=10, noise=0.4, seed=1)
+        t = ds.templates.reshape(10, -1)
+        v = ds.val_x.reshape(len(ds.val_x), -1)
+        pred = np.argmax(v @ t.T, axis=1)
+        assert (pred == ds.val_y).mean() > 0.5
+
+
+class TestLoader:
+    def test_batches_cover_dataset(self, rng):
+        x = rng.normal(size=(25, 2)).astype(np.float32)
+        y = np.arange(25)
+        loader = DataLoader(x, y, batch_size=8, shuffle=False)
+        seen = np.concatenate([yb for _, yb in loader])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(25))
+        assert len(loader) == 4
+
+    def test_drop_last(self, rng):
+        x = rng.normal(size=(25, 2)).astype(np.float32)
+        loader = DataLoader(x, np.arange(25), batch_size=8, drop_last=True)
+        assert len(loader) == 3
+        assert sum(len(b) for b, _ in loader) == 24
+
+    def test_shuffle_changes_with_epoch(self, rng):
+        x = rng.normal(size=(16, 1)).astype(np.float32)
+        loader = DataLoader(x, np.arange(16), batch_size=16, seed=1)
+        first = next(iter(loader))[1].copy()
+        loader.set_epoch(1)
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_shuffle_deterministic_per_epoch(self, rng):
+        x = rng.normal(size=(16, 1)).astype(np.float32)
+        l1 = DataLoader(x, np.arange(16), batch_size=16, seed=1)
+        l2 = DataLoader(x, np.arange(16), batch_size=16, seed=1)
+        np.testing.assert_array_equal(next(iter(l1))[1], next(iter(l2))[1])
+
+    def test_batch_iterator_validation(self, rng):
+        with pytest.raises(ValueError):
+            list(batch_iterator(np.zeros((3, 1)), np.zeros(4), np.arange(3), 2))
+
+
+class TestSharding:
+    def test_disjoint_cover(self):
+        n, p = 103, 4
+        all_idx = np.concatenate([shard_indices(n, p, r, seed=0, epoch=0) for r in range(p)])
+        # padded to equal size; union must cover everything
+        assert set(all_idx.tolist()) == set(range(n))
+        per = (n + p - 1) // p
+        assert all(
+            len(shard_indices(n, p, r, seed=0, epoch=0)) == per for r in range(p)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 300), p=st.integers(1, 8), epoch=st.integers(0, 5))
+    def test_property_equal_sizes_and_cover(self, n, p, epoch):
+        shards = [shard_indices(n, p, r, seed=3, epoch=epoch) for r in range(p)]
+        sizes = {len(s) for s in shards}
+        assert len(sizes) == 1
+        assert set(np.concatenate(shards).tolist()) == set(range(n))
+
+    def test_epoch_changes_permutation(self):
+        a = shard_indices(50, 2, 0, seed=0, epoch=0)
+        b = shard_indices(50, 2, 0, seed=0, epoch=1)
+        assert not np.array_equal(a, b)
+
+    def test_no_shuffle_is_strided(self):
+        """DistributedSampler semantics: rank r takes indices r, r+P, ..."""
+        idx = shard_indices(10, 2, 1, seed=0, epoch=0, shuffle=False)
+        np.testing.assert_array_equal(idx, [1, 3, 5, 7, 9])
+
+    def test_union_of_rank_batches_is_global_batch(self):
+        """First B indices of every rank together == first P*B of the
+        global permutation (the property exact DDP equivalence needs)."""
+        n, p, b = 64, 4, 4
+        shards = [shard_indices(n, p, r, seed=2, epoch=0) for r in range(p)]
+        union = np.concatenate([s[:b] for s in shards])
+        rng = np.random.default_rng(np.random.SeedSequence((2, 0)))
+        perm = rng.permutation(n)
+        assert set(union.tolist()) == set(perm[: p * b].tolist())
+
+    def test_sampler_wrapper(self):
+        s = ShardedIndexSampler(20, 4, 2, seed=1)
+        s.set_epoch(3)
+        np.testing.assert_array_equal(
+            s.indices(), shard_indices(20, 4, 2, seed=1, epoch=3)
+        )
+        assert len(s) == 5
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            shard_indices(10, 2, 2, seed=0, epoch=0)
+
+
+class TestAugment:
+    def test_crop_preserves_shape(self, rng):
+        x = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        out = random_crop(x, rng, padding=2)
+        assert out.shape == x.shape
+
+    def test_flip_probability_extremes(self, rng):
+        x = rng.normal(size=(4, 3, 6, 6)).astype(np.float32)
+        never = random_flip(x, rng, p=0.0)
+        np.testing.assert_array_equal(never, x)
+        always = random_flip(x, rng, p=1.0)
+        np.testing.assert_array_equal(always, x[:, :, :, ::-1])
+
+    def test_augment_batch_pipeline(self, rng):
+        x = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        out = augment_batch(x, rng)
+        assert out.shape == x.shape
+
+    def test_rejects_non_batch(self, rng):
+        with pytest.raises(ValueError):
+            random_crop(rng.normal(size=(3, 8, 8)), rng)

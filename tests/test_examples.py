@@ -1,0 +1,38 @@
+"""The example scripts must run end-to-end (tiny arguments)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(script: str, *args: str, timeout: float = 400.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--workers", "2", "--steps", "6")
+        assert "replica parameters stayed in sync" in out
+
+    def test_imagenet_scaling_study(self):
+        out = run_example("imagenet_scaling_study.py", "--depths", "50")
+        assert "ResNet-50 time-to-solution" in out
+        assert "Table IV" in out
+
+    def test_placement_policy(self):
+        out = run_example("placement_policy.py", "--depth", "50", "--gpus", "16", "32")
+        assert "round-robin" in out and "greedy" in out

@@ -1,0 +1,105 @@
+"""im2col / col2im correctness and adjointness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.im2col import col2im, conv_out_size, im2col
+
+
+def naive_im2col(x, kh, kw, sh, sw, ph, pw):
+    n, c, h, w = x.shape
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    out = np.zeros((n * oh * ow, c * kh * kw), dtype=x.dtype)
+    row = 0
+    for b in range(n):
+        for i in range(oh):
+            for j in range(ow):
+                patch = xp[b, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
+                out[row] = patch.reshape(-1)
+                row += 1
+    return out
+
+
+class TestConvOutSize:
+    def test_basic(self):
+        assert conv_out_size(8, 3, 1, 1) == 8
+        assert conv_out_size(8, 3, 2, 1) == 4
+        assert conv_out_size(224, 7, 2, 3) == 112
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    @pytest.mark.parametrize(
+        "shape,k,s,p",
+        [
+            ((2, 3, 8, 8), (3, 3), (1, 1), (1, 1)),
+            ((1, 2, 7, 9), (3, 2), (2, 1), (0, 1)),
+            ((3, 1, 5, 5), (1, 1), (1, 1), (0, 0)),
+            ((2, 4, 6, 6), (3, 3), (2, 2), (1, 1)),
+            ((1, 3, 10, 10), (5, 5), (3, 3), (2, 2)),
+        ],
+    )
+    def test_matches_naive(self, shape, k, s, p):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=shape).astype(np.float32)
+        got = im2col(x, k, s, p)
+        want = naive_im2col(x, k[0], k[1], s[0], s[1], p[0], p[1])
+        np.testing.assert_array_equal(got, want)
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((3, 3)), (1, 1), (1, 1), (0, 0))
+
+    def test_identity_kernel(self):
+        """1x1 kernel, stride 1: rows are just channel vectors per pixel."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        cols = im2col(x, (1, 1), (1, 1), (0, 0))
+        want = x.transpose(0, 2, 3, 1).reshape(-1, 3)
+        np.testing.assert_array_equal(cols, want)
+
+
+class TestCol2im:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            col2im(np.zeros((5, 9)), (1, 1, 4, 4), (3, 3), (1, 1), (1, 1))
+
+    def test_non_overlapping_roundtrip(self):
+        """With stride == kernel and no padding, col2im inverts im2col."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        cols = im2col(x, (2, 2), (2, 2), (0, 0))
+        back = col2im(cols, x.shape, (2, 2), (2, 2), (0, 0))
+        np.testing.assert_allclose(back, x, rtol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 3),
+        size=st.integers(4, 9),
+        k=st.integers(1, 3),
+        s=st.integers(1, 2),
+        p=st.integers(0, 1),
+        seed=st.integers(0, 10_000),
+    )
+    def test_adjoint_property(self, n, c, size, k, s, p, seed):
+        """<im2col(x), y> == <x, col2im(y)> for all x, y (true adjoint)."""
+        if size + 2 * p < k:
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, c, size, size))
+        oh = conv_out_size(size, k, s, p)
+        ow = conv_out_size(size, k, s, p)
+        y = rng.normal(size=(n * oh * ow, c * k * k))
+        lhs = float((im2col(x, (k, k), (s, s), (p, p)) * y).sum())
+        rhs = float((x * col2im(y, x.shape, (k, k), (s, s), (p, p))).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)

@@ -1,0 +1,154 @@
+"""Cross-module integration tests beyond the per-module suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preconditioner import KFACHyperParams, LAYER_WISE
+from repro.core.schedule import KFACParamScheduler
+from repro.experiments.__main__ import main as experiments_cli
+from repro.nn.resnet import resnet20_cifar
+from repro.optim.lr_scheduler import ConstantSchedule
+from repro.parallel.trainer import DataParallelTrainer, TrainerConfig
+
+
+def factory(rng):
+    return resnet20_cifar(rng, width_multiplier=0.25, num_classes=4)
+
+
+class TestTrainerKfacVariants:
+    @pytest.mark.parametrize("strategy", ["comm-opt", LAYER_WISE])
+    def test_both_strategies_train(self, tiny_dataset, strategy):
+        tx, ty, vx, vy = tiny_dataset.splits
+        cfg = TrainerConfig(
+            world_size=2, batch_size=16, epochs=2,
+            lr_schedule=ConstantSchedule(0.05),
+            kfac=KFACHyperParams(damping=0.01, kfac_update_freq=2, strategy=strategy),
+        )
+        hist = DataParallelTrainer(factory, tx, ty, vx, vy, cfg).train()
+        assert hist.epochs[-1].train_loss < hist.epochs[0].train_loss
+
+    def test_strategies_produce_identical_training(self, tiny_dataset):
+        """End-to-end: lw and opt yield the same loss trajectory."""
+        tx, ty, vx, vy = tiny_dataset.splits
+
+        def run(strategy):
+            cfg = TrainerConfig(
+                world_size=2, batch_size=16, epochs=1,
+                lr_schedule=ConstantSchedule(0.05), seed=3,
+                kfac=KFACHyperParams(damping=0.01, kfac_update_freq=2, strategy=strategy),
+            )
+            hist = DataParallelTrainer(factory, tx, ty, vx, vy, cfg).train()
+            return [e.train_loss for e in hist.epochs]
+
+        np.testing.assert_allclose(run("comm-opt"), run(LAYER_WISE), rtol=1e-5)
+
+    def test_inverse_mode_trains(self, tiny_dataset):
+        tx, ty, vx, vy = tiny_dataset.splits
+        cfg = TrainerConfig(
+            world_size=2, batch_size=16, epochs=2,
+            lr_schedule=ConstantSchedule(0.05),
+            kfac=KFACHyperParams(damping=0.03, kfac_update_freq=2, use_eigen_decomp=False),
+        )
+        hist = DataParallelTrainer(factory, tx, ty, vx, vy, cfg).train()
+        assert np.isfinite(hist.epochs[-1].train_loss)
+
+    def test_kfac_scheduler_integration(self, tiny_dataset):
+        """Damping decays and update interval grows across epochs."""
+        tx, ty, vx, vy = tiny_dataset.splits
+        cfg = TrainerConfig(
+            world_size=1, batch_size=16, epochs=3,
+            lr_schedule=ConstantSchedule(0.05),
+            kfac=KFACHyperParams(damping=0.01, kfac_update_freq=2),
+            kfac_scheduler_factory=lambda k: KFACParamScheduler(
+                k, damping_alpha=0.5, damping_schedule=[1],
+                update_freq_alpha=2.0, update_freq_schedule=[2],
+            ),
+        )
+        trainer = DataParallelTrainer(factory, tx, ty, vx, vy, cfg)
+        trainer.train()
+        assert trainer.kfacs is not None
+        kfac = trainer.kfacs[0]
+        assert kfac.damping == pytest.approx(0.005)
+        assert kfac.kfac_update_freq == 4
+
+    def test_greedy_assignment_trains(self, tiny_dataset):
+        tx, ty, vx, vy = tiny_dataset.splits
+        cfg = TrainerConfig(
+            world_size=3, batch_size=8, epochs=1,
+            lr_schedule=ConstantSchedule(0.05),
+            kfac=KFACHyperParams(damping=0.01, assignment="greedy"),
+        )
+        hist = DataParallelTrainer(factory, tx, ty, vx, vy, cfg).train()
+        assert np.isfinite(hist.epochs[-1].train_loss)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert experiments_cli(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out and "fig10" in out
+
+    def test_run_analytic(self, capsys):
+        assert experiments_cli(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "factor computation time" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            experiments_cli(["tableXYZ"])
+
+
+class TestSPMDStress:
+    def test_many_iterations_many_ops(self):
+        """Longer SPMD runs with interleaved op types stay matched."""
+        from repro.comm.backend import World
+
+        world = World(4)
+
+        def program(view):
+            total = 0.0
+            for i in range(20):
+                r = view.allreduce(np.full(3, float(view.rank + i)), name="a", op="sum")
+                g = view.allgather(np.full(view.rank + 1, 1.0), name="g")
+                view.barrier("b")
+                total += float(r[0]) + sum(float(x.sum()) for x in g)
+            return total
+
+        results = world.run_spmd(program, timeout=60)
+        assert len(set(results)) == 1  # all ranks agree
+
+    def test_interleaved_kfac_and_user_ops(self):
+        """User collectives interleaved with K-FAC's own named ops."""
+        from repro.comm.backend import World
+        from repro.comm.horovod import HorovodContext
+        from repro.core.distributed import SPMDDriver
+        from repro.core.preconditioner import KFAC
+        from repro.nn.loss import CrossEntropyLoss
+        from tests.conftest import build_tiny_cnn
+
+        world = World(2)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(8, 1, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 3, size=8).astype(np.int64)
+
+        def program(view):
+            hvd = HorovodContext(view)
+            model = build_tiny_cnn(seed=1)
+            kfac = KFAC(model, rank=view.rank, world_size=2, damping=0.01)
+            driver = SPMDDriver(kfac, hvd)
+            loss = CrossEntropyLoss()
+            for step in range(3):
+                model.zero_grad()
+                loss(model(x[view.rank * 4 : (view.rank + 1) * 4]),
+                     y[view.rank * 4 : (view.rank + 1) * 4])
+                model.backward(loss.backward())
+                for name, p in model.named_parameters():
+                    p.grad[...] = hvd.allreduce(p.grad, name=f"g{name}")
+                hvd.barrier("user-barrier")  # extra user op between K-FAC steps
+                driver.step()
+            return float(sum(abs(p.data).sum() for p in model.parameters()))
+
+        checksums = world.run_spmd(program, timeout=60)
+        assert checksums[0] == pytest.approx(checksums[1], rel=1e-6)

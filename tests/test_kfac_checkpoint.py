@@ -1,0 +1,106 @@
+"""K-FAC checkpoint/restore: resuming must be bit-equivalent to not stopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preconditioner import KFAC
+from repro.nn.loss import CrossEntropyLoss
+from tests.conftest import build_tiny_cnn
+
+
+def one_step(model, kfac, x, y, loss_fn):
+    model.zero_grad()
+    loss_fn(model(x), y)
+    model.backward(loss_fn.backward())
+    kfac.step()
+    # grads now preconditioned; apply a plain step so weights evolve
+    for p in model.parameters():
+        p.data -= 0.1 * p.grad
+
+
+class TestCheckpoint:
+    def _data(self):
+        rng = np.random.default_rng(0)
+        return (
+            rng.normal(size=(8, 1, 8, 8)).astype(np.float32),
+            rng.integers(0, 3, size=8).astype(np.int64),
+        )
+
+    def test_resume_is_equivalent_to_continuous(self):
+        x, y = self._data()
+        loss = CrossEntropyLoss()
+
+        # continuous run: 4 steps
+        m1 = build_tiny_cnn(seed=5)
+        k1 = KFAC(m1, damping=0.01, fac_update_freq=1, kfac_update_freq=2)
+        for _ in range(4):
+            one_step(m1, k1, x, y, loss)
+
+        # checkpointed run: 2 steps, snapshot, restore into fresh objects
+        m2 = build_tiny_cnn(seed=5)
+        k2 = KFAC(m2, damping=0.01, fac_update_freq=1, kfac_update_freq=2)
+        for _ in range(2):
+            one_step(m2, k2, x, y, loss)
+        model_state = m2.state_dict()
+        kfac_state = k2.state_dict()
+
+        m3 = build_tiny_cnn(seed=99)  # different init, fully overwritten
+        m3.load_state_dict(model_state)
+        k3 = KFAC(m3, damping=0.01, fac_update_freq=1, kfac_update_freq=2)
+        k3.load_state_dict(kfac_state)
+        for _ in range(2):
+            one_step(m3, k3, x, y, loss)
+
+        for (n1, p1), (_, p3) in zip(m1.named_parameters(), m3.named_parameters()):
+            np.testing.assert_allclose(p3.data, p1.data, rtol=1e-6, atol=1e-7, err_msg=n1)
+
+    def test_counters_restored(self):
+        x, y = self._data()
+        loss = CrossEntropyLoss()
+        model = build_tiny_cnn(seed=1)
+        kfac = KFAC(model, damping=0.02, kfac_update_freq=3)
+        for _ in range(2):
+            one_step(model, kfac, x, y, loss)
+        kfac.damping = 0.005  # as a scheduler would
+        state = kfac.state_dict()
+
+        fresh = KFAC(build_tiny_cnn(seed=1), damping=0.02, kfac_update_freq=3)
+        fresh.load_state_dict(state)
+        assert fresh.steps == 2
+        assert fresh.damping == pytest.approx(0.005)
+        assert fresh.kfac_update_freq == 3
+
+    def test_second_order_state_restored(self):
+        x, y = self._data()
+        loss = CrossEntropyLoss()
+        model = build_tiny_cnn(seed=1)
+        kfac = KFAC(model, damping=0.01)
+        one_step(model, kfac, x, y, loss)
+        state = kfac.state_dict()
+        fresh = KFAC(build_tiny_cnn(seed=1), damping=0.01)
+        fresh.load_state_dict(state)
+        for a, b in zip(kfac.layers, fresh.layers):
+            np.testing.assert_array_equal(a.A, b.A)
+            np.testing.assert_array_equal(a.eig_A.Q, b.eig_A.Q)
+            np.testing.assert_array_equal(a.eig_G.lam, b.eig_G.lam)
+
+    def test_unknown_layer_rejected(self):
+        model = build_tiny_cnn(seed=1)
+        kfac = KFAC(model, damping=0.01)
+        state = kfac.state_dict()
+        state["layers"]["bogus.layer"] = {}
+        fresh = KFAC(build_tiny_cnn(seed=1), damping=0.01)
+        with pytest.raises(KeyError):
+            fresh.load_state_dict(state)
+
+    def test_state_dict_is_deep_copy(self):
+        x, y = self._data()
+        model = build_tiny_cnn(seed=1)
+        kfac = KFAC(model, damping=0.01)
+        one_step(model, kfac, x, y, CrossEntropyLoss())
+        state = kfac.state_dict()
+        first_layer = kfac.layers[0]
+        state["layers"][first_layer.name]["A"][...] = 0.0
+        assert not np.all(first_layer.A == 0.0)

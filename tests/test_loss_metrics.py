@@ -1,0 +1,108 @@
+"""Loss functions and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.loss import CrossEntropyLoss, MSELoss, log_softmax, softmax
+from repro.nn.metrics import confusion_counts, topk_accuracy
+from tests.conftest import numerical_gradient
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(5, 7))
+        np.testing.assert_allclose(softmax(logits).sum(axis=1), np.ones(5), rtol=1e-6)
+
+    def test_log_softmax_stability(self):
+        logits = np.array([[1000.0, 1000.0, 999.0]])
+        out = log_softmax(logits)
+        assert np.isfinite(out).all()
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        loss = CrossEntropyLoss()
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 1])
+        want = -log_softmax(logits)[np.arange(4), targets].mean()
+        assert loss(logits, targets) == pytest.approx(want, rel=1e-6)
+
+    def test_label_smoothing_increases_loss_on_confident_correct(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        targets = np.array([0, 1])
+        plain = CrossEntropyLoss(0.0)(logits, targets)
+        smoothed = CrossEntropyLoss(0.1)(logits, targets)
+        assert smoothed > plain
+
+    def test_backward_matches_numerical(self, rng):
+        loss = CrossEntropyLoss(label_smoothing=0.1)
+        logits = rng.normal(size=(3, 4))
+        targets = np.array([1, 3, 0])
+
+        def f():
+            return loss(logits, targets)
+
+        f()
+        analytic = loss.backward()
+        numeric = numerical_gradient(f, logits)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_invalid_smoothing_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(1.0)
+
+    def test_shape_validation(self, rng):
+        loss = CrossEntropyLoss()
+        with pytest.raises(ValueError):
+            loss(rng.normal(size=(3,)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            loss(rng.normal(size=(3, 2)), np.zeros(4, dtype=int))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(AssertionError):
+            CrossEntropyLoss().backward()
+
+
+class TestMSE:
+    def test_value_and_gradient(self, rng):
+        loss = MSELoss()
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        val = loss(pred, target)
+        assert val == pytest.approx(((pred - target) ** 2).mean())
+        np.testing.assert_allclose(
+            loss.backward(), 2 * (pred - target) / pred.size, rtol=1e-6
+        )
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            MSELoss()(rng.normal(size=(2, 2)), rng.normal(size=(2, 3)))
+
+
+class TestMetrics:
+    def test_top1(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        targets = np.array([0, 1, 1])
+        assert topk_accuracy(logits, targets, k=1) == pytest.approx(2 / 3)
+
+    def test_top5_always_geq_top1(self, rng):
+        logits = rng.normal(size=(50, 10))
+        targets = rng.integers(0, 10, size=50)
+        assert topk_accuracy(logits, targets, k=5) >= topk_accuracy(logits, targets, k=1)
+
+    def test_topk_perfect_when_k_equals_classes(self, rng):
+        logits = rng.normal(size=(20, 4))
+        targets = rng.integers(0, 4, size=20)
+        assert topk_accuracy(logits, targets, k=4) == 1.0
+
+    def test_k_validation(self, rng):
+        with pytest.raises(ValueError):
+            topk_accuracy(rng.normal(size=(2, 3)), np.zeros(2, dtype=int), k=4)
+
+    def test_confusion_counts(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        targets = np.array([0, 1, 1])
+        m = confusion_counts(logits, targets, 2)
+        assert m[0, 0] == 1 and m[1, 0] == 1 and m[1, 1] == 1 and m.sum() == 3

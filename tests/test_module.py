@@ -1,0 +1,169 @@
+"""Module framework: registration, hooks, state dicts, modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.container import Sequential
+from repro.nn.layers import BatchNorm2d, Conv2d, Linear, ReLU
+from repro.nn.module import Module, Parameter
+from tests.conftest import build_tiny_cnn
+
+
+class TestRegistration:
+    def test_named_parameters_paths(self, tiny_cnn):
+        names = [n for n, _ in tiny_cnn.named_parameters()]
+        assert "m0.weight" in names and "m0.bias" in names
+        assert "m5.weight" in names
+        assert len(names) == len(set(names))
+
+    def test_num_parameters(self, rng):
+        lin = Linear(4, 3, rng=rng)
+        assert lin.num_parameters() == 4 * 3 + 3
+
+    def test_buffers_registered(self):
+        bn = BatchNorm2d(4)
+        names = [n for n, _ in bn.named_buffers()]
+        assert set(names) == {"running_mean", "running_var"}
+
+    def test_zero_grad(self, tiny_cnn, rng, tiny_batch):
+        x, _ = tiny_batch
+        out = tiny_cnn(x)
+        tiny_cnn.backward(np.ones_like(out))
+        assert any(np.abs(p.grad).sum() > 0 for p in tiny_cnn.parameters())
+        tiny_cnn.zero_grad()
+        assert all(np.abs(p.grad).sum() == 0 for p in tiny_cnn.parameters())
+
+
+class TestHooks:
+    def test_forward_hook_sees_input_and_output(self, rng):
+        lin = Linear(4, 3, rng=rng)
+        seen = []
+        lin.register_forward_hook(lambda m, i, o: seen.append((i, o)))
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        out = lin(x)
+        assert len(seen) == 1
+        assert seen[0][0] is x
+        np.testing.assert_array_equal(seen[0][1], out)
+
+    def test_backward_hook_sees_grad_output(self, rng):
+        lin = Linear(4, 3, rng=rng)
+        seen = []
+        lin.register_backward_hook(lambda m, g: seen.append(g))
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        lin(x)
+        g = rng.normal(size=(2, 3)).astype(np.float32)
+        lin.backprop(g)
+        assert len(seen) == 1 and seen[0] is g
+
+    def test_hooks_fire_through_containers(self, rng):
+        model = Sequential(Linear(4, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        fired = []
+        for _, mod in model.named_modules():
+            if isinstance(mod, Linear):
+                mod.register_forward_hook(lambda m, i, o: fired.append("f"))
+                mod.register_backward_hook(lambda m, g: fired.append("b"))
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        out = model(x)
+        model.backward(np.ones_like(out))
+        assert fired.count("f") == 2 and fired.count("b") == 2
+
+    def test_hook_removal(self, rng):
+        lin = Linear(2, 2, rng=rng)
+        seen = []
+        remove = lin.register_forward_hook(lambda m, i, o: seen.append(1))
+        lin(np.zeros((1, 2), dtype=np.float32))
+        remove()
+        lin(np.zeros((1, 2), dtype=np.float32))
+        assert len(seen) == 1
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = build_tiny_cnn(seed=1)
+        b = build_tiny_cnn(seed=2)
+        state = a.state_dict()
+        b.load_state_dict(state)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_includes_buffers(self, rng):
+        model = Sequential(Conv2d(1, 2, 3, padding=1, rng=rng), BatchNorm2d(2))
+        model(rng.normal(size=(4, 1, 4, 4)).astype(np.float32))
+        state = model.state_dict()
+        buffer_keys = [k for k in state if k.startswith("buffer:")]
+        assert len(buffer_keys) == 2
+        fresh = Sequential(Conv2d(1, 2, 3, padding=1, rng=rng), BatchNorm2d(2))
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh[1].running_mean, model[1].running_mean)
+
+    def test_state_dict_is_a_copy(self, rng):
+        lin = Linear(2, 2, rng=rng)
+        state = lin.state_dict()
+        state["weight"][...] = 99.0
+        assert not np.any(lin.weight.data == 99.0)
+
+    def test_shape_mismatch_raises(self, rng):
+        lin = Linear(2, 2, rng=rng)
+        with pytest.raises(ValueError):
+            lin.load_state_dict({"weight": np.zeros((3, 3))})
+
+    def test_unknown_key_raises(self, rng):
+        lin = Linear(2, 2, rng=rng)
+        with pytest.raises(KeyError):
+            lin.load_state_dict({"nope": np.zeros(1)})
+
+
+class TestModes:
+    def test_train_eval_recursive(self, tiny_cnn):
+        tiny_cnn.eval()
+        assert all(not m.training for m in tiny_cnn.modules())
+        tiny_cnn.train()
+        assert all(m.training for m in tiny_cnn.modules())
+
+
+class TestSequential:
+    def test_iteration_and_indexing(self, rng):
+        layers = [Linear(2, 2, rng=rng), ReLU()]
+        seq = Sequential(*layers)
+        assert len(seq) == 2
+        assert seq[0] is layers[0]
+        assert list(seq) == layers
+
+    def test_append(self, rng):
+        seq = Sequential(Linear(2, 2, rng=rng))
+        seq.append(ReLU())
+        assert len(seq) == 2
+
+    def test_backward_reverses(self, rng):
+        order = []
+
+        class Probe(Module):
+            def __init__(self, tag):
+                super().__init__()
+                self.tag = tag
+
+            def forward(self, x):
+                return x
+
+            def backward(self, g):
+                order.append(self.tag)
+                return g
+
+        seq = Sequential(Probe("a"), Probe("b"))
+        seq(np.zeros(1))
+        seq.backward(np.zeros(1))
+        assert order == ["b", "a"]
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        np.testing.assert_array_equal(p.grad, np.zeros(3))
+
+    def test_size_and_shape(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.size == 6 and p.shape == (2, 3)

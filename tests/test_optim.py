@@ -1,0 +1,182 @@
+"""Optimizers and LR schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import (
+    LARS,
+    SGD,
+    Adam,
+    ConstantSchedule,
+    LinearWarmupSchedule,
+    MultiStepSchedule,
+    PolynomialSchedule,
+)
+
+
+def make_param(values) -> Parameter:
+    p = Parameter(np.array(values, dtype=np.float64))
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad[...] = [0.5, -0.5]
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_momentum_accumulates(self):
+        p = make_param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad[...] = [1.0]
+        opt.step()  # buf = 1 -> p = -1
+        p.grad[...] = [1.0]
+        opt.step()  # buf = 1.9 -> p = -2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        p.grad[...] = [0.0]
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.1])
+
+    def test_nesterov_differs_from_plain(self):
+        def run(nesterov):
+            p = make_param([0.0])
+            opt = SGD([p], lr=0.5, momentum=0.9, nesterov=nesterov)
+            for _ in range(3):
+                p.grad[...] = [1.0]
+                opt.step()
+            return p.data.copy()
+
+        assert run(True)[0] != run(False)[0]
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([0.0])], lr=0.1, nesterov=True)
+
+    def test_state_dict_roundtrip(self):
+        p = make_param([1.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.grad[...] = [1.0]
+        opt.step()
+        state = opt.state_dict()
+        p2 = make_param([1.0])
+        opt2 = SGD([p2], lr=0.5, momentum=0.9)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.1
+        p.grad[...] = [1.0]
+        p2.grad[...] = [1.0]
+        opt.step()
+        opt2.step()
+        # same momentum buffer -> same delta applied
+        np.testing.assert_allclose(p2.data - 1.0, p.data - (1.0 - 0.1))
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_matches_closed_form_quadratic(self):
+        """SGD on f(w) = 0.5*w^2 contracts by (1 - lr) per step."""
+        p = make_param([4.0])
+        opt = SGD([p], lr=0.3)
+        for _ in range(5):
+            p.grad[...] = p.data
+            opt.step()
+        np.testing.assert_allclose(p.data, [4.0 * 0.7**5], rtol=1e-12)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        p = make_param([0.0])
+        opt = Adam([p], lr=0.1)
+        p.grad[...] = [3.0]
+        opt.step()
+        # bias-corrected first step ~ -lr * sign(grad)
+        np.testing.assert_allclose(p.data, [-0.1], rtol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        p = make_param([5.0])
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            p.grad[...] = p.data
+            opt.step()
+        assert abs(p.data[0]) < 0.05
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([make_param([0.0])], betas=(1.0, 0.9))
+
+    def test_state_roundtrip(self):
+        p = make_param([1.0])
+        opt = Adam([p], lr=0.1)
+        p.grad[...] = [1.0]
+        opt.step()
+        state = opt.state_dict()
+        opt2 = Adam([make_param([1.0])], lr=0.1)
+        opt2.load_state_dict(state)
+        assert opt2._t == 1
+
+
+class TestLARS:
+    def test_step_direction(self):
+        p = make_param([3.0, 4.0])  # norm 5
+        opt = LARS([p], lr=1.0, momentum=0.0, trust_coefficient=0.01)
+        p.grad[...] = [0.0, 1.0]  # norm 1
+        opt.step()
+        # local lr = 0.01 * 5 / 1 -> step = -0.05 on second coord
+        np.testing.assert_allclose(p.data, [3.0, 4.0 - 0.05], rtol=1e-6)
+
+    def test_zero_norm_falls_back(self):
+        p = make_param([0.0])
+        opt = LARS([p], lr=0.1, momentum=0.0)
+        p.grad[...] = [1.0]
+        opt.step()
+        np.testing.assert_allclose(p.data, [-0.1])
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantSchedule(0.1)(5.0) == 0.1
+
+    def test_multistep(self):
+        s = MultiStepSchedule(1.0, [10, 20], gamma=0.1)
+        assert s(0) == 1.0
+        assert s(10) == pytest.approx(0.1)
+        assert s(25) == pytest.approx(0.01)
+
+    def test_multistep_requires_sorted(self):
+        with pytest.raises(ValueError):
+            MultiStepSchedule(1.0, [20, 10])
+
+    def test_warmup_ramps_linearly(self):
+        s = LinearWarmupSchedule(ConstantSchedule(1.0), warmup_epochs=5, start_factor=0.0)
+        assert s(0.0) == 0.0
+        assert s(2.5) == pytest.approx(0.5)
+        assert s(5.0) == 1.0
+        assert s(9.0) == 1.0
+
+    def test_warmup_five_epoch_paper_recipe(self):
+        """lr = N*0.0125 with 5-epoch warmup (paper §VI-C1, N=16)."""
+        base = 16 * 0.0125
+        s = LinearWarmupSchedule(
+            MultiStepSchedule(base, [25, 35, 40, 45, 50]), warmup_epochs=5, start_factor=0.1
+        )
+        assert s(0.0) == pytest.approx(0.1 * base)
+        assert s(5.0) == pytest.approx(base)
+        assert s(26.0) == pytest.approx(0.1 * base)
+
+    def test_polynomial_endpoints(self):
+        s = PolynomialSchedule(1.0, total_epochs=10, power=2.0, end_lr=0.0)
+        assert s(0) == 1.0
+        assert s(10) == 0.0
+        assert s(5) == pytest.approx(0.25)
+
+    def test_polynomial_clamps_beyond_total(self):
+        s = PolynomialSchedule(1.0, total_epochs=10)
+        assert s(15) == 0.0

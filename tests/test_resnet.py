@@ -1,0 +1,128 @@
+"""ResNet construction, shape propagation, and spec cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.resnet import (
+    ResNetConfig,
+    build_resnet,
+    resnet20_cifar,
+    resnet32_cifar,
+    resnet50,
+)
+from repro.perfmodel.specs import cifar_resnet_spec, resnet_spec
+
+
+class TestCifarResNets:
+    def test_forward_backward_shapes(self, rng):
+        model = resnet20_cifar(rng, width_multiplier=0.25)
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        out = model(x)
+        assert out.shape == (2, 10)
+        dx = model.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+
+    def test_depth_arithmetic(self, rng):
+        m20 = resnet20_cifar(rng, width_multiplier=0.25)
+        m32 = resnet32_cifar(rng, width_multiplier=0.25)
+        conv_count_20 = sum(1 for _, m in m20.named_modules() if type(m).__name__ == "Conv2d")
+        conv_count_32 = sum(1 for _, m in m32.named_modules() if type(m).__name__ == "Conv2d")
+        # 6n+2: 20 -> n=3 (18 block convs + stem + shortcuts), 32 -> n=5
+        assert conv_count_32 > conv_count_20
+
+    def test_invalid_depth_raises(self):
+        with pytest.raises(ValueError):
+            build_resnet(
+                ResNetConfig(
+                    block="basic", stage_blocks=(1,), stage_widths=(8,), stem="bogus"
+                )
+            )
+
+    def test_param_count_matches_spec(self, rng):
+        """The symbolic spec walk must agree with the built model."""
+        model = resnet20_cifar(rng)
+        spec = cifar_resnet_spec(20)
+        assert model.num_parameters() == spec.total_params
+
+    def test_param_count_matches_spec_r32(self, rng):
+        model = resnet32_cifar(rng)
+        spec = cifar_resnet_spec(32)
+        assert model.num_parameters() == spec.total_params
+
+    def test_gradient_flows_everywhere(self, rng):
+        model = resnet20_cifar(rng, width_multiplier=0.25)
+        x = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        out = model(x)
+        model.backward(rng.normal(size=out.shape).astype(np.float32))
+        for name, p in model.named_parameters():
+            assert np.abs(p.grad).sum() > 0, f"no gradient reached {name}"
+
+    def test_width_multiplier_scales_params(self, rng):
+        full = resnet20_cifar(np.random.default_rng(0))
+        half = resnet20_cifar(np.random.default_rng(0), width_multiplier=0.5)
+        assert half.num_parameters() < full.num_parameters() / 2.5
+
+
+class TestImageNetResNets:
+    def test_resnet50_param_count_exact(self, rng):
+        """Matches torchvision's 25,557,032 (and our spec module)."""
+        model = resnet50(rng)
+        spec = resnet_spec(50)
+        assert model.num_parameters() == spec.total_params == 25_557_032
+
+    def test_bottleneck_forward_small_input(self, rng):
+        model = resnet50(rng, num_classes=5)
+        x = rng.normal(size=(1, 3, 32, 32)).astype(np.float32)
+        out = model(x)
+        assert out.shape == (1, 5)
+
+    def test_bottleneck_backward(self, rng):
+        model = resnet50(rng, num_classes=4)
+        x = rng.normal(size=(1, 3, 32, 32)).astype(np.float32)
+        out = model(x)
+        dx = model.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+        assert np.isfinite(dx).all()
+
+
+class TestSpecWalk:
+    @pytest.mark.parametrize(
+        "depth,params",
+        [(34, 21_797_672), (50, 25_557_032), (101, 44_549_160), (152, 60_192_808)],
+    )
+    def test_known_param_counts(self, depth, params):
+        assert resnet_spec(depth).total_params == params
+
+    def test_spatial_sizes_r50(self):
+        spec = resnet_spec(50)
+        by_name = {l.name: l for l in spec.kfac_layers}
+        assert by_name["stem.conv"].spatial_positions == 112 * 112
+        assert by_name["stage0.block0.conv1"].spatial_positions == 56 * 56
+        assert by_name["stage3.block0.conv2"].spatial_positions == 7 * 7
+        assert by_name["fc"].spatial_positions == 1
+
+    def test_factor_dims_r50(self):
+        spec = resnet_spec(50)
+        by_name = {l.name: l for l in spec.kfac_layers}
+        # bottleneck 3x3 at width 512: a = 512*9 (bias-free), g = 512
+        assert by_name["stage3.block0.conv2"].a_dim == 4608
+        assert by_name["stage3.block0.conv2"].g_dim == 512
+        # classifier with bias
+        assert by_name["fc"].a_dim == 2049
+        assert by_name["fc"].g_dim == 1000
+
+    def test_layer_counts(self):
+        # conv layers (incl. shortcuts) + fc
+        assert len(resnet_spec(50).kfac_layers) == 54
+        assert len(resnet_spec(101).kfac_layers) == 105
+        assert len(resnet_spec(152).kfac_layers) == 156
+
+    def test_unknown_depth_raises(self):
+        with pytest.raises(ValueError):
+            resnet_spec(77)
+
+    def test_cifar_spec_depth_validation(self):
+        with pytest.raises(ValueError):
+            cifar_resnet_spec(21)
