@@ -13,12 +13,16 @@ buffer (§II-D, §V-A).  This package reproduces those semantics for
   algorithms (drives the paper's scaling results);
 - :mod:`repro.comm.fusion` — Horovod's fusion buffer (accumulate small
   tensors, flush as one bandwidth-bound allreduce);
+- :mod:`repro.comm.engine` — the pipelined async engine: persistent fusion
+  buffers, a shared bucketing policy, async launch/wait, and exposed vs.
+  hidden communication-time accounting (SPD-KFAC-style overlap);
 - :mod:`repro.comm.horovod` — a ``hvd``-flavoured per-rank frontend
   (``size``/``rank``/``allreduce_async_``/``synchronize``/
   ``broadcast_parameters``/``DistributedOptimizer``).
 """
 
-from repro.comm.backend import World
+from repro.comm.backend import OverlapStats, World
+from repro.comm.engine import CommEngine, estimate_second_order_seconds, partition_buckets
 from repro.comm.collectives import (
     binomial_broadcast,
     ring_allgather,
@@ -37,6 +41,10 @@ from repro.comm.horovod import Average, DistributedOptimizer, HorovodContext, Su
 
 __all__ = [
     "World",
+    "OverlapStats",
+    "CommEngine",
+    "estimate_second_order_seconds",
+    "partition_buckets",
     "ring_allreduce",
     "ring_allgather",
     "ring_reduce_scatter",

@@ -43,9 +43,10 @@ from repro.comm.costmodel import (
     broadcast_time,
     reduce_scatter_time,
 )
+from repro.comm.handles import InFlightHandle, LaunchedHandle
 from repro.utils.timer import TimerRegistry
 
-__all__ = ["World", "RankView", "DeadlockError", "CommStats"]
+__all__ = ["World", "RankView", "DeadlockError", "CommStats", "OverlapStats"]
 
 
 class DeadlockError(RuntimeError):
@@ -70,6 +71,44 @@ class CommStats:
         return sum(self.ops_by_phase.values())
 
 
+@dataclass
+class OverlapStats:
+    """Exposed vs. hidden communication seconds, per phase.
+
+    Every collective's simulated cost lands here exactly once: synchronous
+    calls are fully *exposed*; asynchronous calls launched through the
+    engine split into ``exposed = max(0, t - overlap_budget)`` plus the
+    ``hidden`` remainder (comm time masked by concurrent local compute,
+    the SPD-KFAC pipelining gain).
+    """
+
+    exposed_by_phase: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    hidden_by_phase: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+
+    def record(self, phase: str, exposed: float, hidden: float) -> None:
+        self.exposed_by_phase[phase] += exposed
+        self.hidden_by_phase[phase] += hidden
+
+    def exposed(self, phase: str) -> float:
+        return self.exposed_by_phase.get(phase, 0.0)
+
+    def hidden(self, phase: str) -> float:
+        return self.hidden_by_phase.get(phase, 0.0)
+
+    def total(self, phase: str) -> float:
+        return self.exposed(phase) + self.hidden(phase)
+
+    def total_hidden(self) -> float:
+        return sum(self.hidden_by_phase.values())
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        phases = set(self.exposed_by_phase) | set(self.hidden_by_phase)
+        return {
+            p: {"exposed": self.exposed(p), "hidden": self.hidden(p)}
+            for p in sorted(phases)
+        }
+
+
 class World:
     """A simulated set of ``size`` communicating workers."""
 
@@ -80,12 +119,14 @@ class World:
         self.net = net
         self.timers = TimerRegistry()
         self.stats = CommStats()
+        self.overlap = OverlapStats()
         # SPMD matching state
         self._lock = threading.Condition()
         self._pending: dict[str, dict[int, np.ndarray]] = {}
         self._results: dict[str, list[Any]] = {}
         self._consumed: dict[str, int] = {}
         self._op_meta: dict[str, tuple[str, Any]] = {}
+        self._overlap_budget: dict[str, float] = {}
         # per (kind, name, rank) repost counter so op names can be reused
         # across iterations without racing slow consumers
         self._generation: dict[tuple[str, str, int], int] = {}
@@ -97,6 +138,14 @@ class World:
     def _charge(self, phase: str, seconds: float, nbytes: float) -> None:
         self.timers.charge(phase, seconds)
         self.stats.record(phase, nbytes)
+        self.overlap.record(phase, seconds, 0.0)
+
+    def _settle_async(self, phase: str, seconds: float, overlap_seconds: float) -> None:
+        """Split an async op's cost into exposed + hidden and account it."""
+        hidden = min(seconds, max(0.0, overlap_seconds))
+        exposed = seconds - hidden
+        self.timers.charge(phase, exposed)
+        self.overlap.record(phase, exposed, hidden)
 
     def allreduce(
         self,
@@ -105,6 +154,21 @@ class World:
         phase: str = "allreduce",
     ) -> list[np.ndarray]:
         """Ring-allreduce per-rank buffers; ``op`` is ``"sum"`` or ``"average"``."""
+        return self.allreduce_async(buffers, op=op, phase=phase).wait()
+
+    def allreduce_async(
+        self,
+        buffers: Sequence[np.ndarray],
+        op: str = "average",
+        phase: str = "allreduce",
+    ) -> InFlightHandle[list[np.ndarray]]:
+        """Non-blocking ring allreduce.
+
+        The data movement happens eagerly (the phase-style world is
+        deterministic); the simulated cost is settled at
+        ``handle.wait(overlap_seconds=...)``, splitting it into exposed and
+        compute-hidden seconds.
+        """
         bufs = list(buffers)
         if len(bufs) != self.size:
             raise ValueError(f"expected {self.size} buffers, got {len(bufs)}")
@@ -114,20 +178,28 @@ class World:
             out = [o / self.size for o in out]
         elif op != "sum":
             raise ValueError(f"unknown reduction op {op!r}")
-        self._charge(phase, allreduce_time(nbytes, self.size, self.net), nbytes)
-        return out
+        t = allreduce_time(nbytes, self.size, self.net)
+        self.stats.record(phase, nbytes)
+        return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
 
     def allgather(
         self, contributions: Sequence[np.ndarray], phase: str = "allgather"
     ) -> list[list[np.ndarray]]:
         """Ring-allgather per-rank tensors (shapes may differ across ranks)."""
+        return self.allgather_async(contributions, phase=phase).wait()
+
+    def allgather_async(
+        self, contributions: Sequence[np.ndarray], phase: str = "allgather"
+    ) -> InFlightHandle[list[list[np.ndarray]]]:
+        """Non-blocking ring allgather (see :meth:`allreduce_async`)."""
         contribs = list(contributions)
         if len(contribs) != self.size:
             raise ValueError(f"expected {self.size} contributions, got {len(contribs)}")
         total = float(sum(c.nbytes for c in contribs))
         out = ring_allgather(contribs)
-        self._charge(phase, allgather_time(total, self.size, self.net), total)
-        return out
+        t = allgather_time(total, self.size, self.net)
+        self.stats.record(phase, total)
+        return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
 
     def broadcast(
         self, value: np.ndarray, root: int = 0, phase: str = "broadcast"
@@ -199,8 +271,14 @@ class World:
         tensor: np.ndarray,
         meta: Any,
         timeout: float,
+        overlap_seconds: float = 0.0,
     ) -> Any:
-        """Post one rank's contribution to a named op; blocks until matched."""
+        """Post one rank's contribution to a named op; blocks until matched.
+
+        ``overlap_seconds`` is this rank's compute time since the op was
+        launched; the *minimum* across ranks bounds how much of the op's
+        cost counts as hidden (the least-overlapped rank sets the barrier).
+        """
         with self._lock:
             gen = self._generation.get((kind, name, rank), 0)
             self._generation[(kind, name, rank)] = gen + 1
@@ -218,9 +296,14 @@ class World:
             if rank in pending:
                 raise DeadlockError(f"op {name!r}: rank {rank} posted twice")
             pending[rank] = tensor
+            self._overlap_budget[key] = min(
+                self._overlap_budget.get(key, float("inf")), max(0.0, overlap_seconds)
+            )
             if len(pending) == self.size:
                 ordered = [pending[r] for r in range(self.size)]
-                self._results[key] = self._execute(kind, ordered, meta)
+                self._results[key] = self._execute(
+                    kind, ordered, meta, self._overlap_budget.pop(key, 0.0)
+                )
                 self._consumed[key] = 0
                 self._lock.notify_all()
             else:
@@ -246,11 +329,13 @@ class World:
                 del self._op_meta[key]
             return result
 
-    def _execute(self, kind: str, ordered: list[np.ndarray], meta: Any) -> list[Any]:
+    def _execute(
+        self, kind: str, ordered: list[np.ndarray], meta: Any, overlap_seconds: float = 0.0
+    ) -> list[Any]:
         if kind == "allreduce":
-            return self.allreduce(ordered, op=meta[0], phase=meta[1])
+            return self.allreduce_async(ordered, op=meta[0], phase=meta[1]).wait(overlap_seconds)
         if kind == "allgather":
-            return self.allgather(ordered, phase=meta[1])
+            return self.allgather_async(ordered, phase=meta[1]).wait(overlap_seconds)
         if kind == "broadcast":
             root = meta[0]
             return self.broadcast(ordered[root], root=root, phase=meta[1])
@@ -279,10 +364,35 @@ class RankView:
             "allreduce", name, self.rank, tensor, (op, phase), self.timeout
         )
 
+    def allreduce_async(
+        self, tensor: np.ndarray, name: str, op: str = "average", phase: str = "allreduce"
+    ) -> LaunchedHandle[np.ndarray]:
+        """Non-blocking named allreduce; the matched post happens at wait.
+
+        ``wait(overlap_seconds=...)`` forwards this rank's compute-overlap
+        budget; the op's hidden time is bounded by the minimum budget
+        across ranks.
+        """
+        return LaunchedHandle(
+            lambda ov: self.world._post_matched(
+                "allreduce", name, self.rank, tensor, (op, phase), self.timeout, ov
+            )
+        )
+
     def allgather(self, tensor: np.ndarray, name: str, phase: str = "allgather") -> list[np.ndarray]:
         """Blocking named allgather; returns all ranks' contributions."""
         return self.world._post_matched(
             "allgather", name, self.rank, tensor, (None, phase), self.timeout
+        )
+
+    def allgather_async(
+        self, tensor: np.ndarray, name: str, phase: str = "allgather"
+    ) -> LaunchedHandle[list[np.ndarray]]:
+        """Non-blocking named allgather (see :meth:`allreduce_async`)."""
+        return LaunchedHandle(
+            lambda ov: self.world._post_matched(
+                "allgather", name, self.rank, tensor, (None, phase), self.timeout, ov
+            )
         )
 
     def broadcast(

@@ -6,6 +6,11 @@ bandwidth dominated" (§II-D).  This class reproduces that batching for the
 phase-style world: callers ``add`` named per-rank tensor groups; once the
 accumulated payload reaches capacity the buffer flushes as a *single*
 fused ring allreduce (one latency charge instead of one per tensor).
+
+Buffers are meant to be *persistent*: obtain one per (op, phase) from
+:meth:`repro.comm.engine.CommEngine.fusion` and reuse it every iteration —
+capacity-respecting flushes then carry across iterations and
+``flush_count``/``bytes_flushed`` accumulate over the whole run.
 """
 
 from __future__ import annotations
@@ -37,6 +42,10 @@ class FusionBuffer:
         self._pending_bytes = 0
         self._results: dict[str, list[np.ndarray]] = {}
         self.flush_count = 0
+        #: cumulative per-rank payload actually sent through fused flushes —
+        #: the "true fused payload" a persistent buffer accumulates across
+        #: iterations (trainer accounting reads this).
+        self.bytes_flushed = 0
 
     def add(self, name: str, per_rank_tensors: list[np.ndarray]) -> None:
         """Queue one named tensor group (one tensor per rank) for reduction."""
@@ -74,6 +83,7 @@ class FusionBuffer:
         self._entries.clear()
         self._pending_bytes = 0
         self.flush_count += 1
+        self.bytes_flushed += fused[0].nbytes
 
     def pop(self, name: str) -> list[np.ndarray]:
         """Return (and forget) the reduced per-rank results for ``name``.

@@ -28,7 +28,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.comm.backend import RankView
-from repro.comm.handles import DeferredHandle, Handle
+from repro.comm.handles import DeferredHandle, Handle, LaunchedHandle
 from repro.nn.module import Module, Parameter
 from repro.optim.base import Optimizer
 
@@ -63,8 +63,25 @@ class HorovodContext:
         """Handle-returning allreduce (resolved on ``synchronize``)."""
         return DeferredHandle(lambda: self.allreduce(tensor, name, op, phase))
 
+    def allreduce_async(
+        self, tensor: np.ndarray, name: str, op: str = Average, phase: str = "allreduce"
+    ) -> LaunchedHandle[np.ndarray]:
+        """Non-blocking allreduce whose wait accepts an overlap budget.
+
+        ``handle.wait(overlap_seconds=t)`` reports ``t`` simulated seconds
+        of local compute performed since the launch; the world hides up to
+        the minimum budget across ranks from the op's accounted time.
+        """
+        return self._view.allreduce_async(tensor, name=name, op=op, phase=phase)
+
     def allgather(self, tensor: np.ndarray, name: str, phase: str = "allgather") -> list[np.ndarray]:
         return self._view.allgather(tensor, name=name, phase=phase)
+
+    def allgather_async(
+        self, tensor: np.ndarray, name: str, phase: str = "allgather"
+    ) -> LaunchedHandle[list[np.ndarray]]:
+        """Non-blocking allgather (see :meth:`allreduce_async`)."""
+        return self._view.allgather_async(tensor, name=name, phase=phase)
 
     def broadcast(self, tensor: np.ndarray, name: str, root: int = 0) -> np.ndarray:
         return self._view.broadcast(tensor, name=name, root=root)

@@ -13,6 +13,47 @@ communication requests and receives their results (see
 
 This mirrors how the real implementation separates the K-FAC math from
 Horovod communication handles (§V-A).
+
+Synchronous protocol
+--------------------
+``yield AllReduceRequest(tensors, op, phase)`` → receives the reduced
+tensors; ``yield AllGatherRequest(tensor, phase)`` → receives the list of
+every rank's contribution.  The driver blocks on the collective before
+resuming the generator.
+
+Asynchronous (pipelined) protocol
+---------------------------------
+The SPD-KFAC-style pipeline splits every collective into a *launch* and a
+*wait* so the generator can interleave local compute with in-flight
+communication:
+
+1. ``yield AllReduceLaunch(tensors, op, phase, tag)`` (or
+   :class:`AllGatherLaunch`) — the driver starts the collective and
+   resumes the generator immediately with ``None``.  ``tag`` must be
+   unique within the step and identical across ranks (lockstep drivers
+   match launches by position *and* tag).
+2. The generator performs local work (e.g. eigendecomposing factor
+   chunks whose reduction already completed), accumulating a
+   *deterministic* estimate of the simulated seconds spent (see
+   :func:`repro.comm.engine.estimate_second_order_seconds`).
+3. ``yield WaitRequest(tag, compute_seconds)`` — the driver resolves the
+   matching launch and responds with the collective's result (same shape
+   as the synchronous response).  ``compute_seconds`` is the local
+   compute performed since the previous wait; the world credits
+   ``min(compute_seconds across ranks)`` of the op's cost as *hidden*
+   (overlapped) rather than exposed time.
+
+Every rank must wait every tag it launched, in the same order — drivers
+may deadlock-check but do not reorder.  A generator that never launches
+asynchronously is a valid degenerate case (the synchronous protocol).
+
+Packing
+-------
+:func:`pack_arrays`/:func:`unpack_arrays` flatten tensor groups for fused
+transport.  Packing *preserves the caller's dtype* (promoting mixed inputs
+via ``np.result_type``); a float64 factor crossing a worker boundary comes
+back float64 — the historical hard-coded ``float32`` downcast silently
+degraded multi-worker precision relative to single-worker runs.
 """
 
 from __future__ import annotations
@@ -21,7 +62,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["AllReduceRequest", "AllGatherRequest", "pack_arrays", "unpack_arrays"]
+__all__ = [
+    "AllReduceRequest",
+    "AllGatherRequest",
+    "AllReduceLaunch",
+    "AllGatherLaunch",
+    "WaitRequest",
+    "pack_arrays",
+    "unpack_arrays",
+]
 
 
 @dataclass
@@ -52,10 +101,56 @@ class AllGatherRequest:
     meta: dict = field(default_factory=dict)
 
 
-def pack_arrays(arrays: list[np.ndarray], dtype: str = "float32") -> np.ndarray:
-    """Concatenate arrays into one flat buffer (deterministic order)."""
+@dataclass
+class AllReduceLaunch:
+    """Start an allreduce without blocking; resolved by a later WaitRequest.
+
+    The driver responds ``None`` immediately.  ``tag`` identifies the op
+    within the step and must match across ranks.
+    """
+
+    tensors: list[np.ndarray]
+    op: str = "average"
+    phase: str = "allreduce"
+    tag: str = ""
+
+
+@dataclass
+class AllGatherLaunch:
+    """Start an allgather without blocking; resolved by a later WaitRequest."""
+
+    tensor: np.ndarray
+    phase: str = "allgather"
+    tag: str = ""
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class WaitRequest:
+    """Block on a previously launched collective identified by ``tag``.
+
+    ``compute_seconds`` is the *simulated* local compute performed since
+    the previous wait (deterministic estimate, never wall clock); the
+    driver forwards it as the overlap budget so that much of the op's cost
+    is accounted as hidden rather than exposed.
+    """
+
+    tag: str
+    compute_seconds: float = 0.0
+
+
+def pack_arrays(arrays: list[np.ndarray], dtype: str | np.dtype | None = None) -> np.ndarray:
+    """Concatenate arrays into one flat buffer (deterministic order).
+
+    The buffer dtype defaults to ``np.result_type`` of the inputs, so the
+    caller's precision survives the collective round trip; pass ``dtype``
+    explicitly to force a transport precision (e.g. empty contributions
+    that must match peers' dtype).
+    """
     if not arrays:
-        return np.zeros(0, dtype=dtype)
+        return np.zeros(0, dtype=dtype if dtype is not None else "float32")
+    if dtype is None:
+        dtype = np.result_type(*arrays)
     return np.concatenate([np.ascontiguousarray(a, dtype=dtype).reshape(-1) for a in arrays])
 
 

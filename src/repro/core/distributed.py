@@ -11,6 +11,13 @@ Three drivers, one algorithm:
 - :class:`SPMDDriver` — executes a single rank's generator inside a
   threaded SPMD program via matched named collectives (what the
   Listing 1-style quickstart uses).
+
+All three understand both step-generator protocols from
+:mod:`repro.core.comm_ops`: the blocking request/response protocol and the
+pipelined launch/wait protocol (``async_comm=True``), where factor
+allreduces run asynchronously while the generator eigendecomposes
+already-reduced factors and the driver credits that compute as hidden
+communication time.
 """
 
 from __future__ import annotations
@@ -20,8 +27,17 @@ from typing import Any, Generator, Sequence
 import numpy as np
 
 from repro.comm.backend import World
+from repro.comm.handles import Handle
 from repro.comm.horovod import HorovodContext
-from repro.core.comm_ops import AllGatherRequest, AllReduceRequest, pack_arrays, unpack_arrays
+from repro.core.comm_ops import (
+    AllGatherLaunch,
+    AllGatherRequest,
+    AllReduceLaunch,
+    AllReduceRequest,
+    WaitRequest,
+    pack_arrays,
+    unpack_arrays,
+)
 from repro.core.preconditioner import KFAC
 
 __all__ = ["LocalDriver", "PhaseController", "SPMDDriver"]
@@ -69,22 +85,38 @@ class PhaseController:
         self.world = world
 
     def step(self) -> None:
-        """Execute one K-FAC step on every replica, in lockstep."""
+        """Execute one K-FAC step on every replica, in lockstep.
+
+        Handles both the synchronous protocol (AllReduce/AllGather
+        requests, resolved immediately) and the pipelined protocol
+        (Launch requests answered with ``None`` while the collective runs
+        asynchronously; the matching WaitRequest settles it with the
+        minimum compute-overlap budget across replicas — the
+        least-overlapped rank sets the barrier).
+        """
         gens = [k.step_generator() for k in self.kfacs]
         requests = [_advance(g, first=True) for g in gens]
+        pending: dict[str, tuple[Handle, list[tuple[int, ...]] | None]] = {}
         while any(r is not None for r in requests):
             kinds = {type(r) for r in requests}
             if len(kinds) != 1 or None in requests:
                 raise RuntimeError(
                     f"replicas diverged: mixed requests {[type(r).__name__ for r in requests]}"
                 )
-            if isinstance(requests[0], AllReduceRequest):
+            first = requests[0]
+            if isinstance(first, AllReduceRequest):
                 responses = self._run_allreduce(requests)  # type: ignore[arg-type]
-            elif isinstance(requests[0], AllGatherRequest):
+            elif isinstance(first, AllGatherRequest):
                 responses = self._run_allgather(requests)  # type: ignore[arg-type]
+            elif isinstance(first, (AllReduceLaunch, AllGatherLaunch)):
+                responses = self._launch(requests, pending)  # type: ignore[arg-type]
+            elif isinstance(first, WaitRequest):
+                responses = self._wait(requests, pending)  # type: ignore[arg-type]
             else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown request type {type(requests[0])}")
+                raise TypeError(f"unknown request type {type(first)}")
             requests = [_advance(g, resp) for g, resp in zip(gens, responses)]
+        if pending:  # pragma: no cover - defensive
+            raise RuntimeError(f"step ended with unawaited collectives: {sorted(pending)}")
 
     def _run_allreduce(self, reqs: list[AllReduceRequest]) -> list[list[np.ndarray]]:
         shapes = [t.shape for t in reqs[0].tensors]
@@ -99,6 +131,49 @@ class PhaseController:
         contributions = [req.tensor for req in reqs]
         gathered = self.world.allgather(contributions, phase=reqs[0].phase)
         return gathered
+
+    def _launch(
+        self,
+        reqs: list[AllReduceLaunch] | list[AllGatherLaunch],
+        pending: dict[str, tuple[Handle, list[tuple[int, ...]] | None]],
+    ) -> list[None]:
+        tags = {req.tag for req in reqs}
+        if len(tags) != 1:
+            raise RuntimeError(f"replicas diverged: mixed launch tags {sorted(tags)}")
+        tag = reqs[0].tag
+        if tag in pending:
+            raise RuntimeError(f"duplicate launch tag {tag!r} within one step")
+        if isinstance(reqs[0], AllReduceLaunch):
+            shapes = [t.shape for t in reqs[0].tensors]
+            for r, req in enumerate(reqs):
+                if [t.shape for t in req.tensors] != shapes:
+                    raise RuntimeError(f"rank {r} launch {tag!r} shapes diverged")
+            fused = [pack_arrays(req.tensors) for req in reqs]
+            handle = self.world.allreduce_async(fused, op=reqs[0].op, phase=reqs[0].phase)
+            pending[tag] = (handle, shapes)
+        else:
+            contributions = [req.tensor for req in reqs]
+            handle = self.world.allgather_async(contributions, phase=reqs[0].phase)
+            pending[tag] = (handle, None)
+        return [None] * len(reqs)
+
+    def _wait(
+        self,
+        reqs: list[WaitRequest],
+        pending: dict[str, tuple[Handle, list[tuple[int, ...]] | None]],
+    ) -> list[list[np.ndarray]]:
+        tags = {req.tag for req in reqs}
+        if len(tags) != 1:
+            raise RuntimeError(f"replicas diverged: mixed wait tags {sorted(tags)}")
+        tag = reqs[0].tag
+        if tag not in pending:
+            raise RuntimeError(f"wait on unknown tag {tag!r} (never launched?)")
+        handle, shapes = pending.pop(tag)
+        overlap = min(req.compute_seconds for req in reqs)
+        result = handle.wait(overlap)
+        if shapes is not None:  # fused allreduce: per-rank flat buffers
+            return [unpack_arrays(flat, shapes) for flat in result]
+        return result
 
 
 class SPMDDriver:
@@ -118,16 +193,49 @@ class SPMDDriver:
         gen = self.kfac.step_generator()
         req = _advance(gen, first=True)
         seq = 0
+        pending: dict[str, tuple[Handle, list[tuple[int, ...]] | None]] = {}
         while req is not None:
-            name = f"kfac:{req.phase}:{seq}"
-            seq += 1
             if isinstance(req, AllReduceRequest):
+                name = f"kfac:{req.phase}:{seq}"
+                seq += 1
                 shapes = [t.shape for t in req.tensors]
                 flat = pack_arrays(req.tensors)
                 reduced = self.hvd.allreduce(flat, name=name, op=req.op, phase=req.phase)
                 req = _advance(gen, unpack_arrays(reduced, shapes))
             elif isinstance(req, AllGatherRequest):
+                name = f"kfac:{req.phase}:{seq}"
+                seq += 1
                 gathered = self.hvd.allgather(req.tensor, name=name, phase=req.phase)
                 req = _advance(gen, gathered)
+            elif isinstance(req, AllReduceLaunch):
+                # matched op names must be identical across ranks, so key
+                # launches by tag (deterministic) rather than sequence
+                if req.tag in pending:
+                    raise RuntimeError(f"duplicate launch tag {req.tag!r} within one step")
+                shapes = [t.shape for t in req.tensors]
+                flat = pack_arrays(req.tensors)
+                handle = self.hvd.allreduce_async(
+                    flat, name=f"kfac:{req.phase}:{req.tag}", op=req.op, phase=req.phase
+                )
+                pending[req.tag] = (handle, shapes)
+                req = _advance(gen, None)
+            elif isinstance(req, AllGatherLaunch):
+                if req.tag in pending:
+                    raise RuntimeError(f"duplicate launch tag {req.tag!r} within one step")
+                handle = self.hvd.allgather_async(
+                    req.tensor, name=f"kfac:{req.phase}:{req.tag}", phase=req.phase
+                )
+                pending[req.tag] = (handle, None)
+                req = _advance(gen, None)
+            elif isinstance(req, WaitRequest):
+                if req.tag not in pending:
+                    raise RuntimeError(f"wait on unknown tag {req.tag!r} (never launched?)")
+                handle, shapes = pending.pop(req.tag)
+                result = handle.wait(req.compute_seconds)
+                if shapes is not None:
+                    result = unpack_arrays(result, shapes)
+                req = _advance(gen, result)
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown request type {type(req)}")
+        if pending:  # pragma: no cover - defensive
+            raise RuntimeError(f"step ended with unawaited collectives: {sorted(pending)}")

@@ -31,11 +31,16 @@ frequent (§V-C).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Generator, Sequence
 
 import numpy as np
 
+from repro.comm.engine import (
+    DEFAULT_BUCKET_BYTES,
+    estimate_second_order_seconds,
+    partition_buckets,
+)
 from repro.core.assignment import (
     FactorMeta,
     greedy_balanced_assignment,
@@ -43,7 +48,15 @@ from repro.core.assignment import (
     round_robin_assignment,
 )
 from repro.core.clipping import kl_clip_factor
-from repro.core.comm_ops import AllGatherRequest, AllReduceRequest, pack_arrays, unpack_arrays
+from repro.core.comm_ops import (
+    AllGatherLaunch,
+    AllGatherRequest,
+    AllReduceLaunch,
+    AllReduceRequest,
+    WaitRequest,
+    pack_arrays,
+    unpack_arrays,
+)
 from repro.core.inverse import FactorEig, eigendecompose, explicit_damped_inverse
 from repro.core.layers import KFACLayer, make_kfac_layer
 from repro.nn.module import Module
@@ -82,7 +95,17 @@ class KFACHyperParams:
     assignment:
         ``"round_robin"`` (paper) or ``"greedy"`` (the §VI-C4 LPT policy).
     skip_layers:
-        Layer-name substrings to exclude from preconditioning.
+        Layer-name substrings to exclude from preconditioning.  Entries
+        must be non-empty (an empty string is a substring of *every* name
+        and would silently skip the whole model).
+    async_comm:
+        Pipeline the COMM_OPT factor exchange SPD-KFAC-style: bucketed
+        asynchronous factor allreduces overlapped with local
+        eigendecompositions and a chunked eigendecomposition allgather.
+        Numerically equivalent to the synchronous path; only the
+        exposed-communication accounting changes.
+    bucket_bytes:
+        Pipeline chunk size for ``async_comm`` (per-bucket payload cap).
     """
 
     lr: float = 0.1
@@ -95,6 +118,8 @@ class KFACHyperParams:
     strategy: str = COMM_OPT
     assignment: str = "round_robin"
     skip_layers: tuple[str, ...] = ()
+    async_comm: bool = False
+    bucket_bytes: int = DEFAULT_BUCKET_BYTES
 
     def __post_init__(self) -> None:
         if self.damping <= 0:
@@ -107,6 +132,15 @@ class KFACHyperParams:
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if self.assignment not in ("round_robin", "greedy"):
             raise ValueError(f"unknown assignment {self.assignment!r}")
+        for entry in self.skip_layers:
+            if not isinstance(entry, str) or not entry:
+                raise ValueError(
+                    f"skip_layers entries must be non-empty strings, got {entry!r} "
+                    "(an empty string matches every layer name, excluding the "
+                    "whole model from K-FAC)"
+                )
+        if self.bucket_bytes <= 0:
+            raise ValueError(f"bucket_bytes must be positive, got {self.bucket_bytes}")
 
 
 class KFAC:
@@ -134,6 +168,13 @@ class KFAC:
             raise ValueError(f"invalid rank/world_size: {rank}/{world_size}")
         base = hyper if hyper is not None else KFACHyperParams()
         if overrides:
+            valid = {f.name for f in fields(KFACHyperParams)}
+            for key in overrides:
+                if key not in valid:
+                    raise TypeError(
+                        f"KFAC() got an unknown hyper-parameter {key!r}; "
+                        f"valid keys: {', '.join(sorted(valid))}"
+                    )
             base = KFACHyperParams(
                 **{**base.__dict__, **overrides}  # type: ignore[arg-type]
             )
@@ -244,11 +285,25 @@ class KFAC:
         update_second_order = self.steps % self.kfac_update_freq == 0
 
         if update_factors:
-            # Algorithm 1 step 1: local factors, running averages, allreduce
+            # Algorithm 1 step 1: local factors, running averages
             for layer in self.layers:
                 layer.update_factors(self.hp.factor_decay)
             self.n_factor_updates += 1
-            if self.world_size > 1:
+
+        pipelined = (
+            self.hp.async_comm
+            and self.world_size > 1
+            and self.hp.strategy == COMM_OPT
+            and update_factors
+            and update_second_order
+        )
+        if pipelined:
+            # SPD-KFAC-style pipeline: bucketed async factor allreduce
+            # overlapped with local eigendecompositions + chunked allgather.
+            yield from self._pipelined_update_comm_opt()
+            self.n_second_order_updates += 1
+        else:
+            if update_factors and self.world_size > 1:
                 tensors = [l.A for l in self.layers] + [l.G for l in self.layers]
                 reduced = yield AllReduceRequest(
                     tensors=tensors, op="average", phase="factor_comm"  # type: ignore[arg-type]
@@ -258,12 +313,12 @@ class KFAC:
                     layer.A = reduced[i]
                     layer.G = reduced[n + i]
 
-        if update_second_order:
-            if self.hp.strategy == COMM_OPT:
-                yield from self._update_second_order_comm_opt()
-            else:
-                self._update_second_order_layer_wise()
-            self.n_second_order_updates += 1
+            if update_second_order:
+                if self.hp.strategy == COMM_OPT:
+                    yield from self._update_second_order_comm_opt()
+                else:
+                    self._update_second_order_layer_wise()
+                self.n_second_order_updates += 1
 
         if self.hp.strategy == COMM_OPT:
             self._precondition_all_local()
@@ -271,6 +326,113 @@ class KFAC:
             yield from self._precondition_layer_wise()
 
         self.steps += 1
+
+    # -- pipelined COMM_OPT factor + second-order update -------------------
+    def _pipelined_update_comm_opt(self) -> Generator[Any, Any, None]:
+        """Bucketed factor allreduce overlapped with eigendecompositions.
+
+        The factor list (A's then G's, communication order) is split into
+        buckets of at most ``bucket_bytes``.  While bucket ``b+1``'s
+        allreduce is in flight, this rank installs bucket ``b``'s reduced
+        factors, decomposes the ones it owns, and launches the chunked
+        allgather of those decompositions — so factor communication hides
+        behind second-order compute and only the install point blocks.
+        Numerically identical to the synchronous path (same reductions,
+        same decompositions, different interleaving).
+        """
+        eigen = self.hp.use_eigen_decomp
+        tensors = [l.A for l in self.layers] + [l.G for l in self.layers]
+        metas = self._factor_metas  # same order as ``tensors``
+        buckets = partition_buckets([t.nbytes for t in tensors], self.hp.bucket_bytes)
+        # same promotion rule as the sync path's pack_arrays(dtype=None), so
+        # mixed-precision models keep their widest dtype in transit; pinned
+        # explicitly because ranks owning nothing in a chunk still must
+        # contribute an empty buffer of the matching dtype
+        transport_dtype = np.result_type(*tensors)
+
+        yield AllReduceLaunch(
+            tensors=[tensors[i] for i in buckets[0]],
+            op="average",
+            phase="factor_comm",
+            tag="fac:0",
+        )
+        pending_compute = 0.0
+        for b, bucket in enumerate(buckets):
+            reduced = yield WaitRequest(tag=f"fac:{b}", compute_seconds=pending_compute)
+            pending_compute = 0.0
+            for idx, arr in zip(bucket, reduced):
+                meta = metas[idx]
+                layer = self._layer_by_name(meta.layer)
+                if meta.kind == "A":
+                    layer.A = arr
+                else:
+                    layer.G = arr
+            if b + 1 < len(buckets):
+                yield AllReduceLaunch(
+                    tensors=[tensors[i] for i in buckets[b + 1]],
+                    op="average",
+                    phase="factor_comm",
+                    tag=f"fac:{b + 1}",
+                )
+            # decompose this rank's share of the just-reduced bucket while
+            # the next bucket's allreduce is in flight
+            payload: list[np.ndarray] = []
+            dims: list[int] = []
+            for idx in bucket:
+                meta = metas[idx]
+                if self._factor_assignment[meta.key] != self.rank:
+                    continue
+                layer = self._layer_by_name(meta.layer)
+                factor = layer.A if meta.kind == "A" else layer.G
+                assert factor is not None, "second-order update before factor update"
+                if eigen:
+                    eig = eigendecompose(factor)
+                    payload.extend([eig.Q, eig.lam])
+                else:
+                    payload.append(explicit_damped_inverse(factor, self.damping))
+                dims.append(meta.dim)
+                self.n_eigs_computed_locally += 1
+            pending_compute += estimate_second_order_seconds(dims, eigen)
+            yield AllGatherLaunch(
+                tensor=pack_arrays(payload, dtype=transport_dtype),
+                phase="eig_comm",
+                tag=f"eig:{b}",
+            )
+        for b, bucket in enumerate(buckets):
+            gathered = yield WaitRequest(tag=f"eig:{b}", compute_seconds=pending_compute)
+            pending_compute = 0.0
+            self._install_second_order_chunk(gathered, [metas[i] for i in bucket])
+
+    def _install_second_order_chunk(
+        self, gathered: Sequence[np.ndarray], chunk_metas: Sequence[FactorMeta]
+    ) -> None:
+        """Install one pipeline chunk's gathered second-order payloads."""
+        for worker in range(self.world_size):
+            metas = [m for m in chunk_metas if self._factor_assignment[m.key] == worker]
+            shapes: list[tuple[int, ...]] = []
+            for meta in metas:
+                if self.hp.use_eigen_decomp:
+                    shapes.extend([(meta.dim, meta.dim), (meta.dim,)])
+                else:
+                    shapes.append((meta.dim, meta.dim))
+            arrays = unpack_arrays(gathered[worker], shapes)
+            idx = 0
+            for meta in metas:
+                layer = self._layer_by_name(meta.layer)
+                if self.hp.use_eigen_decomp:
+                    eig = FactorEig(Q=arrays[idx], lam=arrays[idx + 1])
+                    idx += 2
+                    if meta.kind == "A":
+                        layer.eig_A = eig
+                    else:
+                        layer.eig_G = eig
+                else:
+                    inv = arrays[idx]
+                    idx += 1
+                    if meta.kind == "A":
+                        layer.inv_A = inv
+                    else:
+                        layer.inv_G = inv
 
     # -- COMM_OPT second-order update (Algorithm 1 steps 2 + allgather) ----
     def _update_second_order_comm_opt(self) -> Generator[Any, Any, None]:

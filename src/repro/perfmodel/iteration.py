@@ -21,9 +21,11 @@ All stage times derive from the real layer shapes via
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.comm.costmodel import allgather_time, allreduce_time
+from repro.comm.engine import DEFAULT_BUCKET_BYTES
 from repro.core.assignment import (
     FactorMeta,
     greedy_balanced_assignment,
@@ -64,12 +66,34 @@ class KfacIntervals:
 
 @dataclass(frozen=True)
 class StageProfile:
-    """Table V row: per-stage compute and communication seconds."""
+    """Table V row: per-stage compute and communication seconds.
+
+    ``*_tcomm`` is the full (synchronous) communication cost;
+    ``*_tcomm_exposed`` is the critical-path remainder once the pipelined
+    engine hides chunked transfers behind eigendecomposition compute
+    (equal to ``*_tcomm`` for a synchronous profile).
+    """
 
     factor_tcomp: float
     factor_tcomm: float
     eig_tcomp: float
     eig_tcomm: float
+    factor_tcomm_exposed: float = -1.0
+    eig_tcomm_exposed: float = -1.0
+
+    def __post_init__(self) -> None:
+        # default: synchronous profile, everything exposed
+        if self.factor_tcomm_exposed < 0:
+            object.__setattr__(self, "factor_tcomm_exposed", self.factor_tcomm)
+        if self.eig_tcomm_exposed < 0:
+            object.__setattr__(self, "eig_tcomm_exposed", self.eig_tcomm)
+
+    @property
+    def hidden_comm(self) -> float:
+        """Communication seconds masked behind compute by pipelining."""
+        return (self.factor_tcomm - self.factor_tcomm_exposed) + (
+            self.eig_tcomm - self.eig_tcomm_exposed
+        )
 
 
 class IterationModel:
@@ -221,6 +245,79 @@ class IterationModel:
         return base + self.cluster.op_launch * self.model.n_factors * 2
 
     # ------------------------------------------------------------------
+    # pipelined (async) communication: exposed vs. hidden
+    # ------------------------------------------------------------------
+    def pipeline_chunks(self, bucket_bytes: int = DEFAULT_BUCKET_BYTES) -> int:
+        """Number of pipeline chunks the factor exchange splits into."""
+        if bucket_bytes <= 0:
+            raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
+        return max(1, math.ceil(self.model.factor_bytes / bucket_bytes))
+
+    def pipelined_comm_times(
+        self,
+        p: int,
+        policy: str = "round_robin",
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+    ) -> tuple[float, float]:
+        """(exposed factor comm, exposed eig comm) under SPD-KFAC pipelining.
+
+        Each stream is chunked and hidden behind the compute that runs
+        while its transfers are in flight, leaving one un-hideable chunk
+        exposed (the leading factor chunk launches before any overlap
+        compute exists; the trailing eig chunk follows the last
+        decomposition):
+
+        - the **factor allreduce** launches from the backward hooks as
+          factors are produced (SPD-KFAC's pipelining), so its budget is
+          the backward pass + covariance GEMMs + the *fastest* worker's
+          eigendecompositions (the least-overlapped rank sets the
+          barrier for each chunk's install point);
+        - the **eigendecomposition allgather** is decoupled from the
+          iteration (§V-B): its chunks drain into local preconditioning
+          and the next iteration's forward/backward before the results
+          must install.
+
+        Each budget is spent once — a compute second that hides one chunk
+        cannot hide another — and the two budgets come from disjoint
+        phases, so nothing is double-counted.
+        """
+        if p <= 1:
+            return 0.0, 0.0
+        fac_total = self.factor_comm_time(p)
+        eig_total = self.eig_comm_time(p)
+        n = self.pipeline_chunks(bucket_bytes)
+        min_worker_eig = min(self.eig_worker_times(p, "comm-opt", policy))
+
+        fac_budget = self.backward_time() + self.factor_compute_time() + min_worker_eig
+        fac_exposed = fac_total / n  # leading chunk
+        hideable = fac_total - fac_exposed
+        fac_exposed += max(0.0, hideable - fac_budget)
+
+        eig_budget = self.precondition_time_all() + self.forward_time() + self.backward_time()
+        eig_exposed = eig_total / n  # trailing chunk
+        hideable = eig_total - eig_exposed
+        eig_exposed += max(0.0, hideable - eig_budget)
+        return fac_exposed, eig_exposed
+
+    def factor_comm_exposed_time(
+        self,
+        p: int,
+        policy: str = "round_robin",
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+    ) -> float:
+        """Exposed factor-allreduce seconds with pipelining enabled."""
+        return self.pipelined_comm_times(p, policy, bucket_bytes)[0]
+
+    def eig_comm_exposed_time(
+        self,
+        p: int,
+        policy: str = "round_robin",
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+    ) -> float:
+        """Exposed eigendecomposition-allgather seconds with pipelining."""
+        return self.pipelined_comm_times(p, policy, bucket_bytes)[1]
+
+    # ------------------------------------------------------------------
     # K-FAC preconditioning stage
     # ------------------------------------------------------------------
     def _precond_layer_time(self, layer_flops: float) -> float:
@@ -264,14 +361,26 @@ class IterationModel:
         strategy: str,
         intervals: KfacIntervals,
         policy: str = "round_robin",
+        pipelined: bool = False,
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
     ) -> float:
-        """Average per-iteration time including amortized K-FAC stages."""
+        """Average per-iteration time including amortized K-FAC stages.
+
+        ``pipelined=True`` models the async engine: only the *exposed*
+        factor/eig communication (comm-opt strategy) contributes to the
+        critical path; the hidden remainder overlaps eigendecompositions.
+        """
         base = self.sgd_iteration_time(p)
-        per_fac = self.factor_stage_time(p)
         if strategy == "comm-opt":
-            per_eig = self.eig_stage_time(p, strategy, policy) + self.eig_comm_time(p)
+            if pipelined:
+                fac_comm, eig_comm = self.pipelined_comm_times(p, policy, bucket_bytes)
+            else:
+                fac_comm, eig_comm = self.factor_comm_time(p), self.eig_comm_time(p)
+            per_fac = self.factor_compute_time() + self.factor_capture_overhead() + fac_comm
+            per_eig = self.eig_stage_time(p, strategy, policy) + eig_comm
             per_iter = self.precondition_time_all()
         elif strategy == "layer-wise":
+            per_fac = self.factor_stage_time(p)
             per_eig = self.eig_stage_time(p, strategy)
             per_iter = self.precondition_time_layer_wise(p) + self.precond_gather_time(p)
         else:
@@ -309,16 +418,32 @@ class IterationModel:
     # ------------------------------------------------------------------
     # Table V profile
     # ------------------------------------------------------------------
-    def stage_profile(self, p: int, policy: str = "round_robin") -> StageProfile:
+    def stage_profile(
+        self,
+        p: int,
+        policy: str = "round_robin",
+        pipelined: bool = False,
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+    ) -> StageProfile:
         """Per-update-step stage profile (the paper's Table V row).
 
         ``factor_tcomp`` is the covariance-GEMM time only, matching what
         Table V instruments (the capture overhead shows up in iteration
-        times instead — see hardware.py notes).
+        times instead — see hardware.py notes).  With ``pipelined=True``
+        the exposed-communication fields reflect the async engine's
+        overlap; otherwise they equal the synchronous costs.
         """
+        fac_comm = self.factor_comm_time(p)
+        eig_comm = self.eig_comm_time(p)
+        if pipelined:
+            fac_exposed, eig_exposed = self.pipelined_comm_times(p, policy, bucket_bytes)
+        else:
+            fac_exposed, eig_exposed = fac_comm, eig_comm
         return StageProfile(
             factor_tcomp=self.factor_compute_time(),
-            factor_tcomm=self.factor_comm_time(p),
+            factor_tcomm=fac_comm,
             eig_tcomp=self.eig_stage_time(p, "comm-opt", policy),
-            eig_tcomm=self.eig_comm_time(p),
+            eig_tcomm=eig_comm,
+            factor_tcomm_exposed=fac_exposed,
+            eig_tcomm_exposed=eig_exposed,
         )

@@ -1,0 +1,138 @@
+"""The pipelined communication engine: bucketing, async handles, overlap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.backend import World
+from repro.comm.engine import (
+    CommEngine,
+    estimate_second_order_seconds,
+    partition_buckets,
+)
+
+
+class TestPartitionBuckets:
+    def test_respects_capacity(self):
+        # 3 x 100B items with 200B buckets -> [0,1] then [2]
+        assert partition_buckets([100, 100, 100], 200) == [[0, 1], [2]]
+
+    def test_oversized_item_gets_own_bucket(self):
+        assert partition_buckets([50, 500, 50], 100) == [[0], [1], [2]]
+
+    def test_single_bucket_when_under_capacity(self):
+        assert partition_buckets([10, 10, 10], 1 << 20) == [[0, 1, 2]]
+
+    def test_empty(self):
+        assert partition_buckets([], 100) == []
+
+    def test_order_preserved(self):
+        buckets = partition_buckets([60, 60, 60, 60], 100)
+        assert [i for b in buckets for i in b] == [0, 1, 2, 3]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            partition_buckets([1], 0)
+
+
+class TestEstimate:
+    def test_deterministic_and_monotone(self):
+        small = estimate_second_order_seconds([16])
+        big = estimate_second_order_seconds([64])
+        assert 0 < small < big
+        assert estimate_second_order_seconds([16]) == small
+
+    def test_inverse_cheaper_than_eigen(self):
+        assert estimate_second_order_seconds([64], eigen=False) < (
+            estimate_second_order_seconds([64], eigen=True)
+        )
+
+    def test_empty_is_zero(self):
+        assert estimate_second_order_seconds([]) == 0.0
+
+
+class TestAsyncWorld:
+    def test_async_allreduce_matches_sync_values(self, rng):
+        w_sync, w_async = World(3), World(3)
+        bufs = [rng.normal(size=8) for _ in range(3)]
+        expected = w_sync.allreduce([b.copy() for b in bufs])
+        handle = w_async.allreduce_async([b.copy() for b in bufs])
+        out = handle.wait()
+        for a, b in zip(out, expected):
+            np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_overlap_splits_exposed_and_hidden(self, rng):
+        w = World(2)
+        bufs = [rng.normal(size=1024) for _ in range(2)]
+        handle = w.allreduce_async(bufs, phase="p")
+        t = handle.comm_seconds
+        assert t > 0
+        handle.wait(overlap_seconds=t / 2)
+        assert w.overlap.hidden("p") == pytest.approx(t / 2)
+        assert w.overlap.exposed("p") == pytest.approx(t / 2)
+        assert w.overlap.total("p") == pytest.approx(t)
+        # exposed time is what lands in the phase timers
+        assert w.timers.total("p") == pytest.approx(t / 2)
+
+    def test_overlap_budget_capped_at_comm_time(self, rng):
+        w = World(2)
+        handle = w.allreduce_async([rng.normal(size=64) for _ in range(2)], phase="p")
+        handle.wait(overlap_seconds=1e9)
+        assert w.overlap.exposed("p") == 0.0
+        assert w.overlap.hidden("p") == pytest.approx(handle.comm_seconds)
+
+    def test_double_wait_settles_once(self, rng):
+        w = World(2)
+        handle = w.allgather_async([rng.normal(size=4) for _ in range(2)], phase="g")
+        handle.wait()
+        handle.wait()
+        assert w.overlap.total("g") == pytest.approx(handle.comm_seconds)
+
+    def test_sync_ops_are_fully_exposed(self, rng):
+        w = World(2)
+        w.allreduce([rng.normal(size=16) for _ in range(2)], phase="p")
+        assert w.overlap.hidden("p") == 0.0
+        assert w.overlap.exposed("p") == pytest.approx(w.timers.total("p"))
+
+
+class TestCommEngine:
+    def test_fusion_buffers_are_persistent(self):
+        engine = CommEngine(World(2), bucket_bytes=1 << 20)
+        fb1 = engine.fusion(op="average", phase="grad_allreduce")
+        fb2 = engine.fusion(op="average", phase="grad_allreduce")
+        assert fb1 is fb2
+        assert engine.fusion(op="sum", phase="grad_allreduce") is not fb1
+
+    def test_fusion_inherits_bucket_policy(self):
+        engine = CommEngine(World(2), bucket_bytes=4096)
+        assert engine.fusion().capacity_bytes == 4096
+
+    def test_in_flight_tracking_and_wait_all(self, rng):
+        w = World(2)
+        engine = CommEngine(w)
+        engine.allreduce_async([rng.normal(size=8) for _ in range(2)], phase="a")
+        engine.allgather_async([rng.normal(size=4) for _ in range(2)], phase="b")
+        assert engine.in_flight == 2
+        engine.wait_all()
+        assert engine.in_flight == 0
+        assert w.overlap.exposed("a") > 0 and w.overlap.exposed("b") > 0
+
+    def test_make_buckets_uses_engine_policy(self, rng):
+        engine = CommEngine(World(2), bucket_bytes=100)
+        arrays = [np.zeros(10), np.zeros(10), np.zeros(10)]  # 80B each
+        assert engine.make_buckets(arrays) == [[0], [1], [2]]
+
+    def test_overlap_report(self, rng):
+        w = World(2)
+        engine = CommEngine(w)
+        engine.allreduce_async([rng.normal(size=8) for _ in range(2)], phase="p").wait(1e9)
+        report = engine.overlap_report()
+        assert report["p"]["exposed"] == 0.0
+        assert report["p"]["hidden"] > 0.0
+        assert engine.hidden_seconds("p") == report["p"]["hidden"]
+        assert engine.exposed_seconds("p") == 0.0
+
+    def test_invalid_bucket_bytes(self):
+        with pytest.raises(ValueError):
+            CommEngine(World(1), bucket_bytes=0)

@@ -44,6 +44,29 @@ class TestConstruction:
         with pytest.raises(ValueError):
             KFACHyperParams(fac_update_freq=0)
 
+    def test_empty_skip_layers_entry_rejected(self, tiny_cnn):
+        """'' is a substring of every layer name — accepting it silently
+        excludes the whole model and then misreports "no supported layers"."""
+        with pytest.raises(ValueError, match="skip_layers"):
+            KFACHyperParams(skip_layers=("",))
+        with pytest.raises(ValueError, match="skip_layers"):
+            KFAC(tiny_cnn, skip_layers=("",))
+        with pytest.raises(ValueError, match="skip_layers"):
+            KFACHyperParams(skip_layers=("fc", ""))
+
+    def test_non_string_skip_layers_entry_rejected(self):
+        with pytest.raises(ValueError, match="skip_layers"):
+            KFACHyperParams(skip_layers=(3,))  # type: ignore[arg-type]
+
+    def test_unknown_override_raises_named_typeerror(self, tiny_cnn):
+        with pytest.raises(TypeError, match="kfac_update_frequency"):
+            KFAC(tiny_cnn, kfac_update_frequency=10)  # typo'd key is named
+
+    def test_valid_overrides_still_accepted(self, tiny_cnn):
+        kfac = KFAC(tiny_cnn, kfac_update_freq=7, async_comm=True)
+        assert kfac.hp.kfac_update_freq == 7
+        assert kfac.hp.async_comm is True
+
     def test_factor_metas_order(self, tiny_cnn):
         kfac = KFAC(tiny_cnn)
         kinds = [m.kind for m in kfac.factor_metas]

@@ -54,6 +54,60 @@ class TestTraining:
         assert hist.comm_bytes.get("grad_allreduce", 0) > 0
         assert hist.comm_seconds.get("grad_allreduce", 0) > 0
 
+    def test_persistent_fusion_buffer(self, small_data):
+        """One fusion buffer per trainer, reused across iterations."""
+        tr = make_trainer(small_data, world_size=2, epochs=1)
+        fusion_before = tr._grad_fusion
+        assert tr.comm_engine.fusion(op="average", phase="grad_allreduce") is fusion_before
+        hist = tr.train()
+        assert tr._grad_fusion is fusion_before  # never rebuilt
+        # at least one flush per iteration (capacity may force more)
+        assert fusion_before.flush_count >= hist.total_iterations
+        assert hist.grad_fusion_flushes == fusion_before.flush_count
+        assert fusion_before.pending_bytes == 0  # fully drained per iteration
+
+    def test_comm_bytes_count_true_fused_payload(self, small_data):
+        """grad_allreduce bytes == what the fused flushes actually sent:
+        per-iteration gradient payload x iterations, matching the
+        buffer's own flushed-bytes counter exactly."""
+        tr = make_trainer(small_data, world_size=2, epochs=1)
+        hist = tr.train()
+        assert hist.comm_bytes["grad_allreduce"] == tr._grad_fusion.bytes_flushed
+        grad_bytes = sum(p.grad.nbytes for p in tr.replicas[0].parameters())
+        assert hist.comm_bytes["grad_allreduce"] == grad_bytes * hist.total_iterations
+
+    def test_small_capacity_flushes_mid_iteration(self, small_data):
+        tx, ty, vx, vy = small_data
+        cfg = TrainerConfig(
+            world_size=2, batch_size=16, epochs=1,
+            lr_schedule=ConstantSchedule(0.05),
+            fusion_capacity_bytes=1 << 10,  # force capacity-triggered flushes
+        )
+        tr = DataParallelTrainer(factory, tx, ty, vx, vy, cfg)
+        hist = tr.train()
+        assert tr._grad_fusion.flush_count > hist.total_iterations
+        grad_bytes = sum(p.grad.nbytes for p in tr.replicas[0].parameters())
+        assert hist.comm_bytes["grad_allreduce"] == grad_bytes * hist.total_iterations
+
+    def test_pipelined_kfac_trainer_matches_sync(self, small_data):
+        """End-to-end: async_comm=True trains to the same weights and
+        reports hidden factor-comm seconds."""
+        kf_sync = KFACHyperParams(kfac_update_freq=2, fac_update_freq=1, damping=0.01)
+        kf_pipe = KFACHyperParams(
+            kfac_update_freq=2, fac_update_freq=1, damping=0.01,
+            async_comm=True, bucket_bytes=1 << 12,
+        )
+        tr_sync = make_trainer(small_data, world_size=2, epochs=1, kfac=kf_sync)
+        tr_pipe = make_trainer(small_data, world_size=2, epochs=1, kfac=kf_pipe)
+        h_sync = tr_sync.train()
+        h_pipe = tr_pipe.train()
+        assert not h_sync.comm_hidden_seconds
+        assert h_pipe.comm_hidden_seconds.get("factor_comm", 0.0) > 0.0
+        for (n, p_s), (_, p_p) in zip(
+            tr_sync.replicas[0].named_parameters(), tr_pipe.replicas[0].named_parameters()
+        ):
+            np.testing.assert_allclose(p_p.data, p_s.data, atol=2e-5, rtol=2e-4, err_msg=n)
+
     def test_single_worker_no_comm(self, small_data):
         tr = make_trainer(small_data, world_size=1, epochs=1)
         hist = tr.train()
