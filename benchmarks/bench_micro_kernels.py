@@ -2,7 +2,12 @@
 
 These are genuine pytest-benchmark measurements of the library's compute
 primitives: im2col, conv forward/backward, factor computation,
-eigendecomposition, eigen-basis preconditioning, and ring allreduce.
+eigendecomposition, eigen-basis preconditioning, and ring allreduce —
+plus the symmetry fast path: syrk-vs-GEMM Gram products and
+triangular-packed vs full factor allreduce at real ResNet-50 factor
+shapes.  CI runs this file as a smoke job and uploads the
+``BENCH_micro.json`` artifact so the perf trajectory is tracked across
+PRs.
 """
 
 from __future__ import annotations
@@ -11,12 +16,26 @@ import numpy as np
 import pytest
 
 from repro.comm.collectives import ring_allreduce
+from repro.comm.fusion import tri_pack, tri_unpack
 from repro.core.factors import conv2d_factor_A, conv2d_factor_G
 from repro.core.inverse import eigendecompose, precondition_eigen
 from repro.nn.layers import Conv2d
+from repro.tensor.gram import gram
 from repro.tensor.im2col import im2col
 
 RNG = np.random.default_rng(0)
+
+#: real ResNet-50 Gram shapes (rows = batch 8 x spatial L, cols = a_dim):
+#: a 3x3 stage-1 conv (64ch @ 56^2 / batch-of-2 slice) and the widest 3x3
+#: conv's factor dimension (512*3*3 = 4608) at a small row count.
+R50_GRAM_SHAPES = {
+    "conv2_3x3": (8 * 28 * 28, 64 * 3 * 3),  # tall-skinny: rows dominate
+    "conv5_3x3": (2 * 7 * 7, 512 * 3 * 3),  # wide: factor dim dominates
+}
+
+#: ResNet-50 factor side lengths for the packed-allreduce comparison:
+#: 576 = 64*3*3 (early 3x3 conv A), 2304 = 256*3*3 (stage-3 conv A).
+R50_FACTOR_DIMS = (576, 2304)
 
 
 def test_im2col_kernel(benchmark):
@@ -33,14 +52,16 @@ def test_conv_forward(benchmark):
 def test_conv_backward(benchmark):
     conv = Conv2d(16, 32, 3, padding=1, rng=RNG)
     x = RNG.normal(size=(8, 16, 16, 16)).astype(np.float32)
-    out = conv.forward(x)
-    g = RNG.normal(size=out.shape).astype(np.float32)
+    g = RNG.normal(size=conv.out_shape(x.shape)).astype(np.float32)
 
-    def run():
+    # backward consumes the cached patch matrix (recycled into the
+    # workspace arena), so each round re-primes with a fresh forward
+    def setup():
         conv.zero_grad()
-        return conv.backward(g)
+        conv.forward(x)
+        return (g,), {}
 
-    benchmark(run)
+    benchmark.pedantic(conv.backward, setup=setup, rounds=20)
 
 
 def test_conv_factor_A(benchmark):
@@ -73,3 +94,60 @@ def test_precondition_eigen(benchmark):
 def test_ring_allreduce(benchmark, world):
     bufs = [RNG.normal(size=65536).astype(np.float32) for _ in range(world)]
     benchmark(ring_allreduce, bufs)
+
+
+# ---------------------------------------------------------------------------
+# symmetry fast path: syrk Gram vs plain GEMM at ResNet-50 factor shapes
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("shape_name", sorted(R50_GRAM_SHAPES))
+def test_gram_syrk(benchmark, shape_name):
+    rows, cols = R50_GRAM_SHAPES[shape_name]
+    x = RNG.normal(size=(rows, cols)).astype(np.float32)
+    out = np.empty((cols, cols), dtype=np.float32)
+    result = benchmark(gram, x, out)
+    assert np.array_equal(result, result.T)
+
+
+@pytest.mark.parametrize("shape_name", sorted(R50_GRAM_SHAPES))
+def test_gram_gemm_baseline(benchmark, shape_name):
+    rows, cols = R50_GRAM_SHAPES[shape_name]
+    x = RNG.normal(size=(rows, cols)).astype(np.float32)
+
+    def gemm():
+        return x.T @ x
+
+    benchmark(gemm)
+
+
+# ---------------------------------------------------------------------------
+# symmetry fast path: triangular-packed vs full factor allreduce
+# ---------------------------------------------------------------------------
+def _symmetric_factor(d: int, seed: int) -> np.ndarray:
+    m = np.random.default_rng(seed).normal(size=(d, d)).astype(np.float32)
+    return (m + m.T) / 2.0
+
+
+@pytest.mark.parametrize("dim", R50_FACTOR_DIMS)
+def test_factor_allreduce_full(benchmark, dim):
+    world = 4
+    factors = [_symmetric_factor(dim, r) for r in range(world)]
+
+    def full():
+        return ring_allreduce([f.reshape(-1) for f in factors])
+
+    benchmark(full)
+
+
+@pytest.mark.parametrize("dim", R50_FACTOR_DIMS)
+def test_factor_allreduce_tri_packed(benchmark, dim):
+    """Pack + allreduce + unpack — the whole fast path, including its
+    packing overhead, against the full-matrix exchange above."""
+    world = 4
+    factors = [_symmetric_factor(dim, r) for r in range(world)]
+
+    def packed():
+        reduced = ring_allreduce([tri_pack(f) for f in factors])
+        return [tri_unpack(r, dim) for r in reduced]
+
+    result = benchmark(packed)
+    assert result[0].shape == (dim, dim)

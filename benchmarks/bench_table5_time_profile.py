@@ -36,5 +36,16 @@ def test_table5_stage_profile(benchmark):
             assert pipe.factor_tcomm == sync.factor_tcomm
             assert pipe.eig_tcomm == sync.eig_tcomm
             assert pipe.hidden_comm > 0.0
+            # the symmetric fast path ships strictly fewer factor bytes
+            # (and therefore strictly less factor comm time) than full
+            packed = im.stage_profile(p, pipelined=True, symmetric=True)
+            assert packed.factor_comm_payload_bytes < sync.factor_comm_payload_bytes
+            assert packed.factor_tcomm < sync.factor_tcomm
     # the experiment artifact carries the exposed/hidden accounting
     assert all(h > 0.0 for h in result.data["hidden"].values())
+    # ... and the packed-vs-full factor payloads (packed strictly lower)
+    for depth in (50, 101, 152):
+        assert (
+            result.data["factor_payload_packed_bytes"][depth]
+            < result.data["factor_payload_bytes"][depth]
+        )

@@ -22,7 +22,12 @@ buffer (§II-D, §V-A).  This package reproduces those semantics for
 """
 
 from repro.comm.backend import OverlapStats, World
-from repro.comm.engine import CommEngine, estimate_second_order_seconds, partition_buckets
+from repro.comm.engine import (
+    CommEngine,
+    estimate_second_order_seconds,
+    partition_buckets,
+    symmetric_payload_nbytes,
+)
 from repro.comm.collectives import (
     binomial_broadcast,
     ring_allgather,
@@ -36,7 +41,7 @@ from repro.comm.costmodel import (
     broadcast_time,
     reduce_scatter_time,
 )
-from repro.comm.fusion import FusionBuffer
+from repro.comm.fusion import FusionBuffer, tri_len, tri_pack, tri_unpack
 from repro.comm.horovod import Average, DistributedOptimizer, HorovodContext, Sum
 
 __all__ = [
@@ -45,6 +50,10 @@ __all__ = [
     "CommEngine",
     "estimate_second_order_seconds",
     "partition_buckets",
+    "symmetric_payload_nbytes",
+    "tri_len",
+    "tri_pack",
+    "tri_unpack",
     "ring_allreduce",
     "ring_allgather",
     "ring_reduce_scatter",

@@ -7,7 +7,10 @@ the rest of the stack used to improvise per call site:
   gradient fusion buffer *and* how the K-FAC factor exchange is split into
   pipelineable chunks (SPD-KFAC's tensor partitioning: chunks small enough
   that communication of chunk ``k+1`` can hide behind compute on chunk
-  ``k``, large enough to stay bandwidth-bound).
+  ``k``, large enough to stay bandwidth-bound).  Under symmetric factor
+  communication the partition runs over the *packed* triangular payloads
+  (:func:`symmetric_payload_nbytes`), so the pipeline depth follows the
+  roughly-halved bytes actually on the wire.
 - **Persistent fusion buffers** — ``engine.fusion(op, phase)`` returns one
   long-lived :class:`repro.comm.fusion.FusionBuffer` per (op, phase), so
   the trainer no longer rebuilds a buffer every iteration and flush
@@ -32,7 +35,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.comm.backend import World
-from repro.comm.fusion import FusionBuffer
+from repro.comm.fusion import FusionBuffer, tri_len
 from repro.comm.handles import InFlightHandle
 
 __all__ = [
@@ -40,6 +43,7 @@ __all__ = [
     "DEFAULT_BUCKET_BYTES",
     "estimate_second_order_seconds",
     "partition_buckets",
+    "symmetric_payload_nbytes",
 ]
 
 #: default pipeline chunk size — small enough that a ResNet-scale factor
@@ -66,6 +70,16 @@ def estimate_second_order_seconds(dims: Sequence[int], eigen: bool = True) -> fl
     """
     coef = EIG_FLOP_COEF if eigen else INV_FLOP_COEF
     return sum(coef * float(d) ** 3 for d in dims) / NOMINAL_SECOND_ORDER_FLOPS
+
+
+def symmetric_payload_nbytes(dims: Sequence[int], itemsize: int = 4) -> list[int]:
+    """Per-factor wire bytes under triangular packing.
+
+    A ``d x d`` symmetric factor ships as ``d*(d+1)/2`` elements; feed the
+    result to :func:`partition_buckets` to derive the pipeline chunking
+    the packed exchange actually sees.
+    """
+    return [tri_len(int(d)) * int(itemsize) for d in dims]
 
 
 def partition_buckets(nbytes_list: Sequence[int], bucket_bytes: int) -> list[list[int]]:

@@ -1,4 +1,4 @@
-"""Horovod-style tensor fusion buffer.
+"""Horovod-style tensor fusion buffer and triangular factor packing.
 
 Horovod accumulates small tensors into a 16–32 MB fusion buffer and issues
 one allreduce per full buffer "to guarantee that each allreduce() is
@@ -11,6 +11,15 @@ Buffers are meant to be *persistent*: obtain one per (op, phase) from
 :meth:`repro.comm.engine.CommEngine.fusion` and reuse it every iteration —
 capacity-respecting flushes then carry across iterations and
 ``flush_count``/``bytes_flushed`` accumulate over the whole run.
+
+**Triangular packing** (:func:`tri_pack` / :func:`tri_unpack`): a Kronecker
+factor is symmetric, so its ``d*d`` payload carries ``d*(d-1)/2`` redundant
+elements.  Packing the upper triangle into a flat ``d*(d+1)/2`` vector
+before the factor allreduce nearly halves the factor-stage bytes (the
+Osawa et al. 2019 symmetry-aware communication trick); since averaging is
+elementwise, reducing packed triangles then mirroring is *bit-identical*
+to reducing the full matrices — provided the inputs are exactly symmetric,
+which :func:`repro.tensor.gram.gram` guarantees by construction.
 """
 
 from __future__ import annotations
@@ -18,8 +27,71 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.backend import World
+from repro.tensor.gram import mirror_upper
 
-__all__ = ["FusionBuffer"]
+__all__ = ["FusionBuffer", "tri_len", "tri_pack", "tri_unpack"]
+
+#: cached packed-row offsets, keyed by side length: row ``i`` of the upper
+#: triangle occupies ``flat[offsets[i]:offsets[i+1]]`` (row-major layout)
+_ROW_OFFSET_CACHE: dict[int, np.ndarray] = {}
+
+
+def _row_offsets(d: int) -> np.ndarray:
+    offs = _ROW_OFFSET_CACHE.get(d)
+    if offs is None:
+        offs = np.zeros(d + 1, dtype=np.int64)
+        np.cumsum(np.arange(d, 0, -1), out=offs[1:])
+        _ROW_OFFSET_CACHE[d] = offs
+    return offs
+
+
+def tri_len(d: int) -> int:
+    """Packed length of one ``d x d`` symmetric matrix: ``d*(d+1)/2``."""
+    return d * (d + 1) // 2
+
+
+def tri_pack(mat: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Flatten the upper triangle (row-major, diagonal included) of ``mat``.
+
+    The matrix is *assumed* symmetric — only the upper triangle is read, so
+    any asymmetry in the lower triangle is silently discarded.  Row-wise
+    contiguous slice copies (~14x faster than a fancy-index gather at
+    ResNet factor sizes).
+    """
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValueError(f"tri_pack expects a square matrix, got {mat.shape}")
+    d = mat.shape[0]
+    if out is None:
+        out = np.empty(tri_len(d), dtype=mat.dtype)
+    elif out.shape != (tri_len(d),) or out.dtype != mat.dtype:
+        raise ValueError(
+            f"tri_pack out must be ({tri_len(d)},) {mat.dtype}, "
+            f"got {out.shape} {out.dtype}"
+        )
+    offs = _row_offsets(d)
+    for i in range(d):
+        out[offs[i] : offs[i + 1]] = mat[i, i:]
+    return out
+
+
+def tri_unpack(flat: np.ndarray, d: int, out: np.ndarray | None = None) -> np.ndarray:
+    """Rebuild the full symmetric ``d x d`` matrix from a packed triangle."""
+    if flat.shape != (tri_len(d),):
+        raise ValueError(
+            f"packed triangle for d={d} must have {tri_len(d)} elements, "
+            f"got shape {flat.shape}"
+        )
+    if out is None:
+        out = np.empty((d, d), dtype=flat.dtype)
+    elif out.shape != (d, d) or out.dtype != flat.dtype:
+        raise ValueError(
+            f"tri_unpack out must be ({d}, {d}) {flat.dtype}, "
+            f"got {out.shape} {out.dtype}"
+        )
+    offs = _row_offsets(d)
+    for i in range(d):
+        out[i, i:] = flat[offs[i] : offs[i + 1]]
+    return mirror_upper(out)
 
 
 class FusionBuffer:

@@ -54,13 +54,23 @@ transport.  Packing *preserves the caller's dtype* (promoting mixed inputs
 via ``np.result_type``); a float64 factor crossing a worker boundary comes
 back float64 — the historical hard-coded ``float32`` downcast silently
 degraded multi-worker precision relative to single-worker runs.
+
+:func:`pack_symmetric`/:func:`unpack_symmetric` are the symmetry-aware
+variant used by the factor allreduce (both the synchronous request and the
+pipelined bucket path): each ``d x d`` factor travels as its
+``d*(d+1)/2``-element upper triangle and is mirrored back on arrival —
+lossless for the exactly-symmetric factors the syrk Gram kernel produces,
+and a ~2x reduction in factor-stage bytes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
+
+from repro.comm.fusion import tri_pack, tri_unpack
 
 __all__ = [
     "AllReduceRequest",
@@ -70,6 +80,8 @@ __all__ = [
     "WaitRequest",
     "pack_arrays",
     "unpack_arrays",
+    "pack_symmetric",
+    "unpack_symmetric",
 ]
 
 
@@ -152,6 +164,18 @@ def pack_arrays(arrays: list[np.ndarray], dtype: str | np.dtype | None = None) -
     if dtype is None:
         dtype = np.result_type(*arrays)
     return np.concatenate([np.ascontiguousarray(a, dtype=dtype).reshape(-1) for a in arrays])
+
+
+def pack_symmetric(factors: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Triangular-pack each square symmetric factor for transport."""
+    return [tri_pack(f) for f in factors]
+
+
+def unpack_symmetric(flats: Sequence[np.ndarray], dims: Sequence[int]) -> list[np.ndarray]:
+    """Rebuild full symmetric factors from packed triangles."""
+    if len(flats) != len(dims):
+        raise ValueError(f"got {len(flats)} packed factors for {len(dims)} dims")
+    return [tri_unpack(flat, d) for flat, d in zip(flats, dims)]
 
 
 def unpack_arrays(flat: np.ndarray, shapes: list[tuple[int, ...]]) -> list[np.ndarray]:

@@ -27,6 +27,16 @@ per-example gradient of the *summed* loss is ``N * g0``.  With that:
 Exactness anchor (tested): for a single sample through a Linear layer,
 ``vec(dW) vec(dW)^T == G (x) A`` holds *exactly*.
 
+Symmetry fast path: every Gram product goes through
+:func:`repro.tensor.gram.gram` (BLAS ``?syrk``, half the GEMM FLOPs), so
+factors are *exactly* symmetric by construction — the invariant that makes
+the triangular-packed factor communication in :mod:`repro.comm.fusion`
+lossless.  ``conv2d_factor_A_from_patches`` accepts the patch matrix a
+``Conv2d`` forward already lowered, skipping the second ``im2col`` pass
+over the activations; every function takes an optional
+:class:`repro.tensor.workspace.Workspace` whose scratch makes the whole
+factor stage allocation-free at steady state.
+
 Running average (paper Eqs. 16–17): the paper writes the new reading with
 weight ``xi in [0.9, 1)``, but the reference implementation (and any sane
 running average) weights the *old* value by the decay; we follow the
@@ -38,25 +48,61 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor.gram import gram
 from repro.tensor.im2col import im2col
+from repro.tensor.workspace import Workspace
 
 __all__ = [
     "append_bias_column",
     "linear_factor_A",
     "linear_factor_G",
     "conv2d_factor_A",
+    "conv2d_factor_A_from_patches",
     "conv2d_factor_G",
     "ema_update",
 ]
 
 
-def append_bias_column(mat: np.ndarray) -> np.ndarray:
-    """Append a column of ones (homogeneous coordinates for the bias)."""
-    ones = np.ones((mat.shape[0], 1), dtype=mat.dtype)
-    return np.concatenate([mat, ones], axis=1)
+def append_bias_column(mat: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Append a column of ones (homogeneous coordinates for the bias).
+
+    With ``out`` (shape ``(rows, cols + 1)``, e.g. workspace scratch) the
+    augmentation writes in place instead of allocating a concatenation.
+    """
+    rows, cols = mat.shape
+    if out is None:
+        out = np.empty((rows, cols + 1), dtype=mat.dtype)
+    elif out.shape != (rows, cols + 1) or out.dtype != mat.dtype:
+        raise ValueError(
+            f"bias-column buffer must be {(rows, cols + 1)} {mat.dtype}, "
+            f"got {out.shape} {out.dtype}"
+        )
+    out[:, :cols] = mat
+    out[:, cols] = 1.0
+    return out
 
 
-def linear_factor_A(a: np.ndarray, has_bias: bool) -> np.ndarray:
+def _gram_scaled(
+    mat: np.ndarray, count: int, multiply: bool, workspace: Workspace | None
+) -> np.ndarray:
+    """Gram product via syrk, scaled ``* count`` or ``/ count`` in place.
+
+    Workspace-backed outputs are owned by the caller, who releases them
+    once folded into the running average.
+    """
+    d = mat.shape[1]
+    out = workspace.request((d, d), mat.dtype) if workspace is not None else None
+    factor = gram(mat, out=out)
+    if multiply:
+        factor *= count
+    else:
+        factor /= count
+    return factor
+
+
+def linear_factor_A(
+    a: np.ndarray, has_bias: bool, workspace: Workspace | None = None
+) -> np.ndarray:
     """Activation covariance for a Linear layer.
 
     Parameters
@@ -65,15 +111,25 @@ def linear_factor_A(a: np.ndarray, has_bias: bool) -> np.ndarray:
         Layer input, shape ``(N, d_in)``.
     has_bias:
         Append the homogeneous ones column when the layer has a bias.
+    workspace:
+        Optional scratch arena for the bias column and the factor itself.
     """
     if a.ndim != 2:
         raise ValueError(f"linear activations must be (N, d_in), got {a.shape}")
-    if has_bias:
-        a = append_bias_column(a)
-    return (a.T @ a) / a.shape[0]
+    n = a.shape[0]
+    if not has_bias:
+        return _gram_scaled(a, n, False, workspace)
+    shape = (n, a.shape[1] + 1)
+    if workspace is not None:
+        with workspace.borrow(shape, a.dtype) as scratch:
+            biased = append_bias_column(a, out=scratch)
+            return _gram_scaled(biased, n, False, workspace)
+    return _gram_scaled(append_bias_column(a), n, False, None)
 
 
-def linear_factor_G(g0: np.ndarray, batch_averaged: bool = True) -> np.ndarray:
+def linear_factor_G(
+    g0: np.ndarray, batch_averaged: bool = True, workspace: Workspace | None = None
+) -> np.ndarray:
     """Output-gradient covariance for a Linear layer.
 
     Parameters
@@ -87,9 +143,7 @@ def linear_factor_G(g0: np.ndarray, batch_averaged: bool = True) -> np.ndarray:
     if g0.ndim != 2:
         raise ValueError(f"output grads must be (N, d_out), got {g0.shape}")
     n = g0.shape[0]
-    if batch_averaged:
-        return (g0.T @ g0) * n
-    return (g0.T @ g0) / n
+    return _gram_scaled(g0, n, batch_averaged, workspace)
 
 
 def conv2d_factor_A(
@@ -98,6 +152,7 @@ def conv2d_factor_A(
     stride: tuple[int, int],
     padding: tuple[int, int],
     has_bias: bool,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """Patch covariance (KFC's Omega) for a Conv2d layer.
 
@@ -105,14 +160,44 @@ def conv2d_factor_A(
     ----------
     x:
         Layer input, shape ``(N, C_in, H, W)``.
+
+    Notes
+    -----
+    Lowers ``x`` with a fresh ``im2col`` pass.  The K-FAC capture hooks
+    avoid this entirely by feeding the patch matrix the layer's forward
+    already produced to :func:`conv2d_factor_A_from_patches`.
     """
-    patches = im2col(x, kernel_size, stride, padding)  # (N*L, D)
-    if has_bias:
-        patches = append_bias_column(patches)
-    return (patches.T @ patches) / patches.shape[0]
+    patches = im2col(x, kernel_size, stride, padding)
+    factor = conv2d_factor_A_from_patches(patches, has_bias, workspace)
+    return factor
 
 
-def conv2d_factor_G(g0: np.ndarray, batch_averaged: bool = True) -> np.ndarray:
+def conv2d_factor_A_from_patches(
+    patches: np.ndarray, has_bias: bool, workspace: Workspace | None = None
+) -> np.ndarray:
+    """Patch covariance from an already-lowered im2col matrix ``(N*L, D)``.
+
+    Bit-identical to :func:`conv2d_factor_A` on the matching input — the
+    patch matrix cached by ``Conv2d.forward`` *is* the im2col expansion —
+    but skips the second lowering pass, the single largest redundant
+    compute in the training loop.
+    """
+    if patches.ndim != 2:
+        raise ValueError(f"patches must be (N*L, D), got {patches.shape}")
+    rows = patches.shape[0]
+    if not has_bias:
+        return _gram_scaled(patches, rows, False, workspace)
+    shape = (rows, patches.shape[1] + 1)
+    if workspace is not None:
+        with workspace.borrow(shape, patches.dtype) as scratch:
+            biased = append_bias_column(patches, out=scratch)
+            return _gram_scaled(biased, rows, False, workspace)
+    return _gram_scaled(append_bias_column(patches), rows, False, None)
+
+
+def conv2d_factor_G(
+    g0: np.ndarray, batch_averaged: bool = True, workspace: Workspace | None = None
+) -> np.ndarray:
     """Output-gradient covariance (scaled KFC Gamma) for a Conv2d layer.
 
     Parameters
@@ -122,19 +207,27 @@ def conv2d_factor_G(g0: np.ndarray, batch_averaged: bool = True) -> np.ndarray:
     """
     if g0.ndim != 4:
         raise ValueError(f"conv output grads must be (N, C, OH, OW), got {g0.shape}")
-    n = g0.shape[0]
-    flat = g0.transpose(0, 2, 3, 1).reshape(-1, g0.shape[1])  # (N*L, C_out)
-    if batch_averaged:
-        return (flat.T @ flat) * n
-    # treat rows as per-example-per-position grads of a summed loss
-    return (flat.T @ flat) / n
+    n, c, oh, ow = g0.shape
+    if workspace is not None:
+        with workspace.borrow((n * oh * ow, c), g0.dtype) as flat:
+            np.copyto(flat.reshape(n, oh, ow, c), g0.transpose(0, 2, 3, 1))
+            return _gram_scaled(flat, n, batch_averaged, workspace)
+    flat = g0.transpose(0, 2, 3, 1).reshape(-1, c)  # (N*L, C_out)
+    return _gram_scaled(flat, n, batch_averaged, None)
 
 
-def ema_update(ema: np.ndarray | None, new: np.ndarray, decay: float) -> np.ndarray:
+def ema_update(
+    ema: np.ndarray | None,
+    new: np.ndarray,
+    decay: float,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
     """Running-average update, ``decay`` weighting the old value.
 
     On the first call (``ema is None``) the new reading is adopted
-    directly, avoiding cold-start bias.
+    directly, avoiding cold-start bias.  With a ``workspace`` the scaled
+    temporary comes from pooled scratch, making the steady-state update
+    allocation-free (bit-identical arithmetic either way).
     """
     if not 0.0 <= decay < 1.0:
         raise ValueError(f"decay must be in [0, 1), got {decay}")
@@ -142,6 +235,12 @@ def ema_update(ema: np.ndarray | None, new: np.ndarray, decay: float) -> np.ndar
         return new.copy()
     if ema.shape != new.shape:
         raise ValueError(f"EMA shape {ema.shape} != new reading shape {new.shape}")
+    if workspace is not None and ema.dtype == new.dtype:
+        with workspace.borrow(new.shape, new.dtype) as scratch:
+            np.multiply(new, new.dtype.type(1.0 - decay), out=scratch)
+            ema *= decay
+            ema += scratch
+        return ema
     ema *= decay
     ema += (1.0 - decay) * new
     return ema

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.factors import (
     conv2d_factor_A,
+    conv2d_factor_A_from_patches,
     conv2d_factor_G,
     ema_update,
     linear_factor_A,
@@ -34,6 +35,7 @@ from repro.core.inverse import (
 )
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
+from repro.tensor.workspace import Workspace, default_workspace
 
 __all__ = ["KFACLayer", "LinearKFACLayer", "Conv2dKFACLayer", "make_kfac_layer"]
 
@@ -41,9 +43,12 @@ __all__ = ["KFACLayer", "LinearKFACLayer", "Conv2dKFACLayer", "make_kfac_layer"]
 class KFACLayer:
     """Base K-FAC handler for one module."""
 
-    def __init__(self, name: str, module: Module) -> None:
+    def __init__(
+        self, name: str, module: Module, workspace: Workspace | None = None
+    ) -> None:
         self.name = name
         self.module = module
+        self.workspace = workspace if workspace is not None else default_workspace()
         self.a_input: np.ndarray | None = None
         self.g_output: np.ndarray | None = None
         self.A: np.ndarray | None = None  # running-average activation factor
@@ -81,15 +86,30 @@ class KFACLayer:
         raise NotImplementedError
 
     def update_factors(self, decay: float) -> None:
-        """Compute current factors from captures and fold into the EMAs."""
+        """Compute current factors from captures and fold into the EMAs.
+
+        Fresh factor readings come out of the workspace arena and go back
+        into it as soon as they are folded into the running average, so the
+        steady-state factor stage allocates nothing.
+        """
         if self.a_input is None or self.g_output is None:
             raise RuntimeError(
                 f"layer {self.name}: factor update requested but no "
                 "activations/gradients were captured this step"
             )
-        self.A = ema_update(self.A, self.compute_A(), decay)
-        self.G = ema_update(self.G, self.compute_G(), decay)
+        new_A = self.compute_A()
+        self.A = ema_update(self.A, new_A, decay, self.workspace)
+        if new_A is not self.A:
+            self.workspace.release(new_A)
+        new_G = self.compute_G()
+        self.G = ema_update(self.G, new_G, decay, self.workspace)
+        if new_G is not self.G:
+            self.workspace.release(new_G)
         # release captures; they are only valid for this iteration
+        self._release_captures()
+
+    def _release_captures(self) -> None:
+        """Drop captured activations/gradients (subclasses may recycle)."""
         self.a_input = None
         self.g_output = None
 
@@ -155,8 +175,10 @@ class KFACLayer:
 class LinearKFACLayer(KFACLayer):
     """Handler for :class:`repro.nn.layers.Linear`."""
 
-    def __init__(self, name: str, module: Linear) -> None:
-        super().__init__(name, module)
+    def __init__(
+        self, name: str, module: Linear, workspace: Workspace | None = None
+    ) -> None:
+        super().__init__(name, module, workspace)
         self._module: Linear = module
 
     @property
@@ -169,19 +191,28 @@ class LinearKFACLayer(KFACLayer):
 
     def compute_A(self) -> np.ndarray:
         assert self.a_input is not None
-        return linear_factor_A(self.a_input, self.has_bias)
+        return linear_factor_A(self.a_input, self.has_bias, self.workspace)
 
     def compute_G(self) -> np.ndarray:
         assert self.g_output is not None
-        return linear_factor_G(self.g_output, batch_averaged=True)
+        return linear_factor_G(self.g_output, batch_averaged=True, workspace=self.workspace)
 
 
 class Conv2dKFACLayer(KFACLayer):
-    """Handler for :class:`repro.nn.layers.Conv2d` (KFC factors)."""
+    """Handler for :class:`repro.nn.layers.Conv2d` (KFC factors).
 
-    def __init__(self, name: str, module: Conv2d) -> None:
-        super().__init__(name, module)
+    The capture hook claims the im2col patch matrix the module's forward
+    already produced (see :meth:`repro.nn.layers.Conv2d.claim_patches`), so
+    ``compute_A`` never re-lowers the activations; the claimed buffer is
+    recycled into the module's workspace once the factor is folded in.
+    """
+
+    def __init__(
+        self, name: str, module: Conv2d, workspace: Workspace | None = None
+    ) -> None:
+        super().__init__(name, module, workspace)
         self._module: Conv2d = module
+        self._input_is_patches = False
 
     @property
     def a_dim(self) -> int:
@@ -192,25 +223,47 @@ class Conv2dKFACLayer(KFACLayer):
     def g_dim(self) -> int:
         return self._module.out_channels
 
+    def save_input(self, x: np.ndarray) -> None:
+        cols = self._module.claim_patches()
+        if cols is not None:
+            self.a_input = cols
+            self._input_is_patches = True
+        else:  # no cached lowering (e.g. hook fired without a forward)
+            self.a_input = x
+            self._input_is_patches = False
+
     def compute_A(self) -> np.ndarray:
         assert self.a_input is not None
+        if self._input_is_patches:
+            return conv2d_factor_A_from_patches(
+                self.a_input, self.has_bias, self.workspace
+            )
         return conv2d_factor_A(
             self.a_input,
             self._module.kernel_size,
             self._module.stride,
             self._module.padding,
             self.has_bias,
+            self.workspace,
         )
 
     def compute_G(self) -> np.ndarray:
         assert self.g_output is not None
-        return conv2d_factor_G(self.g_output, batch_averaged=True)
+        return conv2d_factor_G(self.g_output, batch_averaged=True, workspace=self.workspace)
+
+    def _release_captures(self) -> None:
+        if self._input_is_patches and self.a_input is not None:
+            self._module.workspace.release(self.a_input)
+        self._input_is_patches = False
+        super()._release_captures()
 
 
-def make_kfac_layer(name: str, module: Module) -> KFACLayer | None:
+def make_kfac_layer(
+    name: str, module: Module, workspace: Workspace | None = None
+) -> KFACLayer | None:
     """Return a handler for supported module types, else ``None``."""
     if isinstance(module, Linear):
-        return LinearKFACLayer(name, module)
+        return LinearKFACLayer(name, module, workspace)
     if isinstance(module, Conv2d):
-        return Conv2dKFACLayer(name, module)
+        return Conv2dKFACLayer(name, module, workspace)
     return None

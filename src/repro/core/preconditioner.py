@@ -41,6 +41,7 @@ from repro.comm.engine import (
     estimate_second_order_seconds,
     partition_buckets,
 )
+from repro.comm.fusion import tri_unpack
 from repro.core.assignment import (
     FactorMeta,
     greedy_balanced_assignment,
@@ -55,7 +56,9 @@ from repro.core.comm_ops import (
     AllReduceRequest,
     WaitRequest,
     pack_arrays,
+    pack_symmetric,
     unpack_arrays,
+    unpack_symmetric,
 )
 from repro.core.inverse import FactorEig, eigendecompose, explicit_damped_inverse
 from repro.core.layers import KFACLayer, make_kfac_layer
@@ -106,6 +109,12 @@ class KFACHyperParams:
         exposed-communication accounting changes.
     bucket_bytes:
         Pipeline chunk size for ``async_comm`` (per-bucket payload cap).
+    symmetric_comm:
+        Exchange each ``d x d`` factor as its ``d*(d+1)/2``-element upper
+        triangle (Osawa et al. 2019), nearly halving factor-stage bytes on
+        both the synchronous and pipelined paths.  Lossless: the syrk Gram
+        kernel makes factors exactly symmetric, and averaging triangles
+        then mirroring is bit-identical to averaging full matrices.
     """
 
     lr: float = 0.1
@@ -120,6 +129,7 @@ class KFACHyperParams:
     skip_layers: tuple[str, ...] = ()
     async_comm: bool = False
     bucket_bytes: int = DEFAULT_BUCKET_BYTES
+    symmetric_comm: bool = True
 
     def __post_init__(self) -> None:
         if self.damping <= 0:
@@ -304,10 +314,19 @@ class KFAC:
             self.n_second_order_updates += 1
         else:
             if update_factors and self.world_size > 1:
-                tensors = [l.A for l in self.layers] + [l.G for l in self.layers]
+                factors = [l.A for l in self.layers] + [l.G for l in self.layers]
+                if self.hp.symmetric_comm:
+                    # ship only the upper triangles: d*(d+1)/2 elements each
+                    tensors = pack_symmetric(factors)
+                else:
+                    tensors = factors
                 reduced = yield AllReduceRequest(
                     tensors=tensors, op="average", phase="factor_comm"  # type: ignore[arg-type]
                 )
+                if self.hp.symmetric_comm:
+                    reduced = unpack_symmetric(
+                        reduced, [m.dim for m in self._factor_metas]
+                    )
                 n = len(self.layers)
                 for i, layer in enumerate(self.layers):
                     layer.A = reduced[i]
@@ -338,11 +357,16 @@ class KFAC:
         allgather of those decompositions — so factor communication hides
         behind second-order compute and only the install point blocks.
         Numerically identical to the synchronous path (same reductions,
-        same decompositions, different interleaving).
+        same decompositions, different interleaving).  With
+        ``symmetric_comm`` the buckets carry packed upper triangles, so the
+        partition — and therefore the pipeline depth — follows the halved
+        payload.
         """
         eigen = self.hp.use_eigen_decomp
-        tensors = [l.A for l in self.layers] + [l.G for l in self.layers]
-        metas = self._factor_metas  # same order as ``tensors``
+        symmetric = self.hp.symmetric_comm
+        factors = [l.A for l in self.layers] + [l.G for l in self.layers]
+        metas = self._factor_metas  # same order as ``factors``
+        tensors = pack_symmetric(factors) if symmetric else factors
         buckets = partition_buckets([t.nbytes for t in tensors], self.hp.bucket_bytes)
         # same promotion rule as the sync path's pack_arrays(dtype=None), so
         # mixed-precision models keep their widest dtype in transit; pinned
@@ -363,6 +387,8 @@ class KFAC:
             for idx, arr in zip(bucket, reduced):
                 meta = metas[idx]
                 layer = self._layer_by_name(meta.layer)
+                if symmetric:
+                    arr = tri_unpack(arr, meta.dim)
                 if meta.kind == "A":
                     layer.A = arr
                 else:

@@ -54,7 +54,9 @@ def run_table5(
     With ``pipelined=True`` two extra columns report the *exposed*
     (non-overlapped) communication once the async engine hides chunked
     transfers behind compute — the SPD-KFAC-style savings the synchronous
-    drivers leave on the table.
+    drivers leave on the table.  The factor-stage wire payload is reported
+    for both the full-matrix exchange and the triangular-packed fast path
+    (``KFAC(symmetric_comm=True)``) — the packed bytes are strictly lower.
     """
     result = ExperimentResult(
         "table5", "factor & eigendecomposition time profile (paper Table V, ms)"
@@ -62,8 +64,12 @@ def run_table5(
     rows = []
     exposed: dict[tuple[int, int], tuple[float, float]] = {}
     hidden: dict[tuple[int, int], float] = {}
+    payload_full: dict[int, float] = {}
+    payload_packed: dict[int, float] = {}
     for depth in depths:
         im = IterationModel(resnet_spec(depth), V100_LIKE, FRONTERA_LIKE)
+        payload_full[depth] = float(im.factor_comm_payload_bytes(packed=False))
+        payload_packed[depth] = float(im.factor_comm_payload_bytes(packed=True))
         for p in gpus:
             prof = im.stage_profile(p, pipelined=pipelined)
             paper = PAPER_TABLE5.get((depth, p))
@@ -89,7 +95,26 @@ def run_table5(
         headers += ["fac Texpose", "eig Texpose"]
     headers.append("paper (fc/fx/ec/ex)")
     result.add(format_table(headers, rows))
-    result.data = {"paper": PAPER_TABLE5, "exposed": exposed, "hidden": hidden}
+    result.add(
+        format_table(
+            ["Model", "factor payload (MB, full)", "factor payload (MB, tri-packed)"],
+            [
+                [
+                    f"ResNet-{d}",
+                    f"{payload_full[d] / 1e6:.1f}",
+                    f"{payload_packed[d] / 1e6:.1f}",
+                ]
+                for d in depths
+            ],
+        )
+    )
+    result.data = {
+        "paper": PAPER_TABLE5,
+        "exposed": exposed,
+        "hidden": hidden,
+        "factor_payload_bytes": payload_full,
+        "factor_payload_packed_bytes": payload_packed,
+    }
     return result
 
 

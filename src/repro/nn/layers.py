@@ -14,6 +14,7 @@ import numpy as np
 from repro.nn.module import Module, Parameter
 from repro.tensor.im2col import col2im, conv_out_size, im2col
 from repro.tensor.initializers import kaiming_normal, kaiming_uniform, zeros_init
+from repro.tensor.workspace import Workspace, default_workspace
 
 __all__ = [
     "Linear",
@@ -88,6 +89,14 @@ class Conv2d(Module):
     weight matrix ``(out, in*kh*kw)`` is what K-FAC preconditions, giving
     factors ``A: (in*kh*kw[+1])^2`` and ``G: out^2`` — identical shapes to
     the paper's PyTorch implementation.
+
+    The im2col patch matrix — the largest live buffer in the model — is
+    drawn from a :class:`~repro.tensor.workspace.Workspace` arena and
+    recycled as soon as its last consumer finishes: normally at the end of
+    ``backward``, or (on K-FAC factor-capture iterations) after the factor
+    hook that :meth:`claim_patches`-ed it folds it into the ``A`` factor.
+    Steady-state training therefore re-lowers into the same buffer every
+    iteration instead of allocating a fresh one.
     """
 
     def __init__(
@@ -99,6 +108,7 @@ class Conv2d(Module):
         padding: int | tuple[int, int] = 0,
         bias: bool = False,
         rng: np.random.Generator | None = None,
+        workspace: Workspace | None = None,
     ) -> None:
         super().__init__()
         rng = rng if rng is not None else np.random.default_rng(0)
@@ -112,7 +122,9 @@ class Conv2d(Module):
             kaiming_normal((out_channels, in_channels, kh, kw), rng), name="weight"
         )
         self.bias = Parameter(zeros_init((out_channels,)), name="bias") if bias else None
+        self.workspace = workspace if workspace is not None else default_workspace()
         self._cols: np.ndarray | None = None
+        self._cols_claimed = False
         self._x_shape: tuple[int, int, int, int] | None = None
 
     def out_shape(self, x_shape: tuple[int, ...]) -> tuple[int, int, int, int]:
@@ -126,16 +138,42 @@ class Conv2d(Module):
         if c != self.in_channels:
             raise ValueError(f"expected {self.in_channels} input channels, got {c}")
         self._x_shape = (n, c, h, w)
-        cols = im2col(x, self.kernel_size, self.stride, self.padding)
+        _, _, oh, ow = self.out_shape((n, c, h, w))
+        kh, kw = self.kernel_size
+        if self._cols is not None and not self._cols_claimed:
+            # consecutive forwards with no backward (eval): recycle the
+            # previous lowering instead of orphaning it
+            self.workspace.release(self._cols)
+            self._cols = None
+        cols = self.workspace.request((n * oh * ow, c * kh * kw), x.dtype)
+        cols = im2col(x, self.kernel_size, self.stride, self.padding, out=cols)
         self._cols = cols
+        self._cols_claimed = False
         w_mat = self.weight.data.reshape(self.out_channels, -1)
         y = cols @ w_mat.T  # (N*OH*OW, out)
         if self.bias is not None:
             y += self.bias.data
-        _, _, oh, ow = self.out_shape((n, c, h, w))
         return np.ascontiguousarray(
             y.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
         )
+
+    @property
+    def cached_patches(self) -> np.ndarray | None:
+        """The im2col matrix of the last forward (None once consumed)."""
+        return self._cols
+
+    def claim_patches(self) -> np.ndarray | None:
+        """Transfer ownership of the cached patch matrix to the caller.
+
+        The K-FAC capture hook calls this so ``conv2d_factor_A`` never
+        re-lowers the activations.  A claimed buffer is *not* recycled at
+        the end of ``backward`` — the claimant releases it back to
+        :attr:`workspace` once the factor is computed.
+        """
+        if self._cols is None or self._cols_claimed:
+            return None  # single-shot: a second claimant must re-lower
+        self._cols_claimed = True
+        return self._cols
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         assert self._cols is not None and self._x_shape is not None
@@ -146,6 +184,26 @@ class Conv2d(Module):
         if self.bias is not None:
             self.bias.grad += dy.sum(axis=0)
         dcols = dy @ w_mat
+        cols, self._cols = self._cols, None
+        if not self._cols_claimed:
+            self.workspace.release(cols)
+        self._cols_claimed = False
+        nc, cc, h, w = self._x_shape
+        ph, pw = self.padding
+        if ph or pw:
+            scratch = self.workspace.request(
+                (nc, cc, h + 2 * ph, w + 2 * pw), dcols.dtype
+            )
+            dx = col2im(
+                dcols, self._x_shape, self.kernel_size, self.stride, self.padding,
+                scratch=scratch,
+            )
+            # the trimming slice is usually a copy, but a single-sided pad
+            # with leading size-1 dims can stay contiguous — then dx IS a
+            # view of scratch and the buffer must escape, not be pooled
+            if not np.shares_memory(dx, scratch):
+                self.workspace.release(scratch)
+            return dx
         return col2im(dcols, self._x_shape, self.kernel_size, self.stride, self.padding)
 
     def __repr__(self) -> str:  # pragma: no cover

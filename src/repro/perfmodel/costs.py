@@ -3,10 +3,19 @@
 All counts are derived from the symbolic layer specs (real ResNet shapes).
 Conventions: one multiply-accumulate = 2 FLOPs; backward = 2x forward
 (input-gradient + weight-gradient GEMMs).
+
+The factor-stage formulas carry a ``syrk`` switch modelling the
+symmetry-aware fast path: a rank-k update computes only one triangle of
+the Gram product (``d*(d+1)/2`` dot products instead of ``d^2``) and
+writes only that triangle.  The triangular-packed allreduce *payload* is
+modelled by :attr:`repro.perfmodel.specs.ModelSpec.factor_packed_bytes`
+(``d*(d+1)/2`` elements per ``d x d`` factor).  Defaults remain the
+GEMM/full-matrix rates the hardware profiles were calibrated against.
 """
 
 from __future__ import annotations
 
+from repro.comm.fusion import tri_len
 from repro.perfmodel.specs import KfacLayerSpec, ModelSpec
 
 __all__ = [
@@ -21,6 +30,11 @@ __all__ = [
     "layer_precondition_flops",
     "precondition_flops",
 ]
+
+
+def _tri(d: int) -> float:
+    """Element count of one triangle (diagonal included) of a ``d x d``."""
+    return float(tri_len(d))
 
 
 def layer_forward_flops(layer: KfacLayerSpec, batch: int) -> float:
@@ -38,36 +52,46 @@ def model_backward_flops(model: ModelSpec, batch: int) -> float:
     return 2.0 * model_forward_flops(model, batch)
 
 
-def layer_factor_flops(layer: KfacLayerSpec, batch: int) -> float:
+def layer_factor_flops(layer: KfacLayerSpec, batch: int, syrk: bool = False) -> float:
     """FLOPs to form both covariance factors for one layer.
 
     ``A = patches^T patches`` costs ``(N*L) * a_dim^2`` MACs and
-    ``G = g^T g`` costs ``(N*L) * g_dim^2`` MACs.
+    ``G = g^T g`` costs ``(N*L) * g_dim^2`` MACs as plain GEMMs; the
+    ``syrk`` rank-k kernel computes only one triangle of each symmetric
+    result, ``(N*L) * d*(d+1)/2`` MACs — asymptotically half.
     """
     rows = batch * layer.spatial_positions
+    if syrk:
+        return 2.0 * rows * (_tri(layer.a_dim) + _tri(layer.g_dim))
     return 2.0 * rows * (layer.a_dim**2 + layer.g_dim**2)
 
 
-def factor_flops(model: ModelSpec, batch: int) -> float:
+def factor_flops(model: ModelSpec, batch: int, syrk: bool = False) -> float:
     """FLOPs of the full factor-computation stage (per worker, local batch)."""
-    return sum(layer_factor_flops(l, batch) for l in model.kfac_layers)
+    return sum(layer_factor_flops(l, batch, syrk) for l in model.kfac_layers)
 
 
-def layer_factor_bytes(layer: KfacLayerSpec, batch: int) -> float:
+def layer_factor_bytes(layer: KfacLayerSpec, batch: int, syrk: bool = False) -> float:
     """Memory traffic of one layer's factor computation (FP32).
 
     Reads the im2col patch matrix (``N*L*a_dim``) and the reshaped output
-    gradients (``N*L*g_dim``), writes both factors.  On GPUs this stage is
-    bandwidth-bound (the covariance GEMMs are tall-skinny), which is why
-    the measured stage time (paper Table V) tracks traffic, not FLOPs.
+    gradients (``N*L*g_dim``), writes both factors — only one triangle of
+    each under ``syrk``.  On GPUs this stage is bandwidth-bound (the
+    covariance GEMMs are tall-skinny), which is why the measured stage
+    time (paper Table V) tracks traffic, not FLOPs.
     """
     rows = batch * layer.spatial_positions
-    return 4.0 * (rows * (layer.a_dim + layer.g_dim) + layer.a_dim**2 + layer.g_dim**2)
+    factor_elems = (
+        _tri(layer.a_dim) + _tri(layer.g_dim)
+        if syrk
+        else layer.a_dim**2 + layer.g_dim**2
+    )
+    return 4.0 * (rows * (layer.a_dim + layer.g_dim) + factor_elems)
 
 
-def factor_stage_bytes(model: ModelSpec, batch: int) -> float:
+def factor_stage_bytes(model: ModelSpec, batch: int, syrk: bool = False) -> float:
     """Total factor-computation traffic for one local mini-batch."""
-    return sum(layer_factor_bytes(l, batch) for l in model.kfac_layers)
+    return sum(layer_factor_bytes(l, batch, syrk) for l in model.kfac_layers)
 
 
 def eig_flops(dim: int, coef: float = 10.0) -> float:

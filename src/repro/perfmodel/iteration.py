@@ -72,6 +72,9 @@ class StageProfile:
     ``*_tcomm_exposed`` is the critical-path remainder once the pipelined
     engine hides chunked transfers behind eigendecomposition compute
     (equal to ``*_tcomm`` for a synchronous profile).
+    ``factor_comm_payload_bytes`` is the per-worker factor-allreduce wire
+    payload the profile was computed with — halved under triangular
+    packing (``symmetric=True``), zero when unset.
     """
 
     factor_tcomp: float
@@ -80,6 +83,7 @@ class StageProfile:
     eig_tcomm: float
     factor_tcomm_exposed: float = -1.0
     eig_tcomm_exposed: float = -1.0
+    factor_comm_payload_bytes: float = 0.0
 
     def __post_init__(self) -> None:
         # default: synchronous profile, everything exposed
@@ -161,15 +165,21 @@ class IterationModel:
     # ------------------------------------------------------------------
     # K-FAC factor stage
     # ------------------------------------------------------------------
-    def factor_compute_time(self) -> float:
+    def factor_compute_time(self, syrk: bool = False) -> float:
         """Factor-computation time — constant in P (Table V ``Tcomp``,
         the Fig. 10 quantity).
 
         Patch-traffic term plus a per-layer kernel-overhead term that
         grows ``~L^1.7`` — the paper's own Tcomp measurements grow
         super-linearly in model size (36.8 -> 218.4 ms for 2.35x params).
+        ``syrk`` models the rank-k fast path, which writes only one
+        triangle of each factor (the patch-read term, which dominates,
+        is unchanged — hence the modest Tcomp gain the stage shows).
         """
-        traffic = factor_stage_bytes(self.model, self.local_batch) / self.device.factor_bandwidth
+        traffic = (
+            factor_stage_bytes(self.model, self.local_batch, syrk)
+            / self.device.factor_bandwidth
+        )
         overhead = self.device.factor_layer_coef * float(self.n_layers) ** self.device.factor_layer_exp
         return traffic + overhead
 
@@ -182,20 +192,29 @@ class IterationModel:
         """
         return self.device.factor_capture_coef * float(self.n_layers) ** 2
 
-    def factor_comm_time(self, p: int) -> float:
+    def factor_comm_payload_bytes(self, packed: bool = False) -> int:
+        """Per-worker factor-allreduce wire payload (full or tri-packed)."""
+        return self.model.factor_packed_bytes if packed else self.model.factor_bytes
+
+    def factor_comm_time(self, p: int, packed: bool = False) -> float:
         """Allreduce of all running-average factors (one op per factor).
 
         Rare and bandwidth-dominated — empirically flat in P (Table V), so
-        no straggler penalty.
+        no straggler penalty.  ``packed`` models the triangular-packed
+        exchange (``KFAC(symmetric_comm=True)``): ~half the bytes.
         """
         if p <= 1:
             return 0.0
-        base = allreduce_time(self.model.factor_bytes, p, self.cluster.net)
+        base = allreduce_time(self.factor_comm_payload_bytes(packed), p, self.cluster.net)
         return base + self.cluster.op_launch * self.model.n_factors
 
-    def factor_stage_time(self, p: int) -> float:
+    def factor_stage_time(self, p: int, symmetric: bool = False) -> float:
         """Full factor-update cost: compute + capture overhead + comm."""
-        return self.factor_compute_time() + self.factor_capture_overhead() + self.factor_comm_time(p)
+        return (
+            self.factor_compute_time(syrk=symmetric)
+            + self.factor_capture_overhead()
+            + self.factor_comm_time(p, packed=symmetric)
+        )
 
     # ------------------------------------------------------------------
     # K-FAC eigendecomposition stage
@@ -247,17 +266,20 @@ class IterationModel:
     # ------------------------------------------------------------------
     # pipelined (async) communication: exposed vs. hidden
     # ------------------------------------------------------------------
-    def pipeline_chunks(self, bucket_bytes: int = DEFAULT_BUCKET_BYTES) -> int:
+    def pipeline_chunks(
+        self, bucket_bytes: int = DEFAULT_BUCKET_BYTES, packed: bool = False
+    ) -> int:
         """Number of pipeline chunks the factor exchange splits into."""
         if bucket_bytes <= 0:
             raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
-        return max(1, math.ceil(self.model.factor_bytes / bucket_bytes))
+        return max(1, math.ceil(self.factor_comm_payload_bytes(packed) / bucket_bytes))
 
     def pipelined_comm_times(
         self,
         p: int,
         policy: str = "round_robin",
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+        symmetric: bool = False,
     ) -> tuple[float, float]:
         """(exposed factor comm, exposed eig comm) under SPD-KFAC pipelining.
 
@@ -283,12 +305,14 @@ class IterationModel:
         """
         if p <= 1:
             return 0.0, 0.0
-        fac_total = self.factor_comm_time(p)
+        fac_total = self.factor_comm_time(p, packed=symmetric)
         eig_total = self.eig_comm_time(p)
-        n = self.pipeline_chunks(bucket_bytes)
+        n = self.pipeline_chunks(bucket_bytes, packed=symmetric)
         min_worker_eig = min(self.eig_worker_times(p, "comm-opt", policy))
 
-        fac_budget = self.backward_time() + self.factor_compute_time() + min_worker_eig
+        fac_budget = (
+            self.backward_time() + self.factor_compute_time(syrk=symmetric) + min_worker_eig
+        )
         fac_exposed = fac_total / n  # leading chunk
         hideable = fac_total - fac_exposed
         fac_exposed += max(0.0, hideable - fac_budget)
@@ -363,24 +387,34 @@ class IterationModel:
         policy: str = "round_robin",
         pipelined: bool = False,
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+        symmetric: bool = False,
     ) -> float:
         """Average per-iteration time including amortized K-FAC stages.
 
         ``pipelined=True`` models the async engine: only the *exposed*
         factor/eig communication (comm-opt strategy) contributes to the
         critical path; the hidden remainder overlaps eigendecompositions.
+        ``symmetric=True`` applies the syrk compute and triangular-packed
+        communication rates of the symmetry-aware fast path.
         """
         base = self.sgd_iteration_time(p)
         if strategy == "comm-opt":
             if pipelined:
-                fac_comm, eig_comm = self.pipelined_comm_times(p, policy, bucket_bytes)
+                fac_comm, eig_comm = self.pipelined_comm_times(
+                    p, policy, bucket_bytes, symmetric
+                )
             else:
-                fac_comm, eig_comm = self.factor_comm_time(p), self.eig_comm_time(p)
-            per_fac = self.factor_compute_time() + self.factor_capture_overhead() + fac_comm
+                fac_comm = self.factor_comm_time(p, packed=symmetric)
+                eig_comm = self.eig_comm_time(p)
+            per_fac = (
+                self.factor_compute_time(syrk=symmetric)
+                + self.factor_capture_overhead()
+                + fac_comm
+            )
             per_eig = self.eig_stage_time(p, strategy, policy) + eig_comm
             per_iter = self.precondition_time_all()
         elif strategy == "layer-wise":
-            per_fac = self.factor_stage_time(p)
+            per_fac = self.factor_stage_time(p, symmetric=symmetric)
             per_eig = self.eig_stage_time(p, strategy)
             per_iter = self.precondition_time_layer_wise(p) + self.precond_gather_time(p)
         else:
@@ -424,6 +458,7 @@ class IterationModel:
         policy: str = "round_robin",
         pipelined: bool = False,
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+        symmetric: bool = False,
     ) -> StageProfile:
         """Per-update-step stage profile (the paper's Table V row).
 
@@ -431,19 +466,24 @@ class IterationModel:
         Table V instruments (the capture overhead shows up in iteration
         times instead — see hardware.py notes).  With ``pipelined=True``
         the exposed-communication fields reflect the async engine's
-        overlap; otherwise they equal the synchronous costs.
+        overlap; otherwise they equal the synchronous costs.  With
+        ``symmetric=True`` the profile uses the syrk compute rate and the
+        triangular-packed allreduce payload.
         """
-        fac_comm = self.factor_comm_time(p)
+        fac_comm = self.factor_comm_time(p, packed=symmetric)
         eig_comm = self.eig_comm_time(p)
         if pipelined:
-            fac_exposed, eig_exposed = self.pipelined_comm_times(p, policy, bucket_bytes)
+            fac_exposed, eig_exposed = self.pipelined_comm_times(
+                p, policy, bucket_bytes, symmetric
+            )
         else:
             fac_exposed, eig_exposed = fac_comm, eig_comm
         return StageProfile(
-            factor_tcomp=self.factor_compute_time(),
+            factor_tcomp=self.factor_compute_time(syrk=symmetric),
             factor_tcomm=fac_comm,
             eig_tcomp=self.eig_stage_time(p, "comm-opt", policy),
             eig_tcomm=eig_comm,
             factor_tcomm_exposed=fac_exposed,
             eig_tcomm_exposed=eig_exposed,
+            factor_comm_payload_bytes=float(self.factor_comm_payload_bytes(symmetric)),
         )

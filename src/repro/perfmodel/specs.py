@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.comm.fusion import tri_len
 from repro.nn.resnet import IMAGENET_DEPTH_CONFIGS
 from repro.tensor.im2col import conv_out_size
 
@@ -67,8 +68,19 @@ class ModelSpec:
 
     @property
     def factor_bytes(self) -> int:
-        """FP32 payload of all Kronecker factors (A and G)."""
+        """FP32 payload of all Kronecker factors (A and G), full matrices."""
         return 4 * sum(l.a_dim**2 + l.g_dim**2 for l in self.kfac_layers)
+
+    @property
+    def factor_packed_bytes(self) -> int:
+        """FP32 payload of all factors under triangular packing.
+
+        Each symmetric ``d x d`` factor ships as its ``d*(d+1)/2``-element
+        upper triangle (the ``KFAC(symmetric_comm=True)`` wire format).
+        """
+        return 4 * sum(
+            tri_len(l.a_dim) + tri_len(l.g_dim) for l in self.kfac_layers
+        )
 
     @property
     def eig_bytes(self) -> int:

@@ -6,6 +6,7 @@ BLAS-level throughput and produces exactly the patch matrices the K-FAC
 ``A`` factors are built from (Grosse & Martens' KFC formulation).
 """
 
+from repro.tensor.gram import gram, has_syrk, mirror_upper
 from repro.tensor.im2col import col2im, conv_out_size, im2col
 from repro.tensor.initializers import (
     kaiming_normal,
@@ -13,6 +14,7 @@ from repro.tensor.initializers import (
     xavier_uniform,
     zeros_init,
 )
+from repro.tensor.workspace import Workspace, default_workspace
 
 DEFAULT_DTYPE = "float32"
 
@@ -21,6 +23,11 @@ __all__ = [
     "im2col",
     "col2im",
     "conv_out_size",
+    "gram",
+    "has_syrk",
+    "mirror_upper",
+    "Workspace",
+    "default_workspace",
     "kaiming_normal",
     "kaiming_uniform",
     "xavier_uniform",

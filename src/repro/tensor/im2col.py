@@ -35,6 +35,7 @@ def im2col(
     kernel_size: tuple[int, int],
     stride: tuple[int, int],
     padding: tuple[int, int],
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Extract convolution patches.
 
@@ -44,6 +45,10 @@ def im2col(
         Input of shape ``(N, C, H, W)``.
     kernel_size, stride, padding:
         ``(height, width)`` pairs.
+    out:
+        Optional preallocated ``(N*OH*OW, C*kh*kw)`` C-contiguous output
+        (e.g. a recycled :class:`repro.tensor.workspace.Workspace` buffer);
+        contents are overwritten.
 
     Returns
     -------
@@ -68,6 +73,17 @@ def im2col(
     windows = windows[:, :, ::sh, ::sw]
     assert windows.shape[2] == oh and windows.shape[3] == ow
     # -> (N, OH, OW, C, kh, kw) -> (N*OH*OW, C*kh*kw)
+    if out is not None:
+        expected = (n * oh * ow, c * kh * kw)
+        if out.shape != expected or out.dtype != x.dtype or not out.flags.c_contiguous:
+            raise ValueError(
+                f"im2col out buffer must be C-contiguous {expected} {x.dtype}, "
+                f"got {out.shape} {out.dtype}"
+            )
+        np.copyto(
+            out.reshape(n, oh, ow, c, kh, kw), windows.transpose(0, 2, 3, 1, 4, 5)
+        )
+        return out
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
     return np.ascontiguousarray(cols)
 
@@ -78,6 +94,7 @@ def col2im(
     kernel_size: tuple[int, int],
     stride: tuple[int, int],
     padding: tuple[int, int],
+    scratch: np.ndarray | None = None,
 ) -> np.ndarray:
     """Adjoint of :func:`im2col` (overlap-add scatter back to NCHW).
 
@@ -87,6 +104,11 @@ def col2im(
         Patch matrix of shape ``(N * OH * OW, C * kh * kw)``.
     x_shape:
         Shape of the original (unpadded) input.
+    scratch:
+        Optional preallocated ``(N, C, H+2ph, W+2pw)`` accumulation buffer
+        (zero-filled here; contents overwritten).  When padding is zero the
+        returned array *is* this buffer, so callers recycling it through a
+        workspace must only release it once the result is dead.
 
     Returns
     -------
@@ -108,7 +130,17 @@ def col2im(
 
     patches = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
     # patches: (N, C, kh, kw, OH, OW)
-    out = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    padded_shape = (n, c, h + 2 * ph, w + 2 * pw)
+    if scratch is not None:
+        if scratch.shape != padded_shape or scratch.dtype != cols.dtype:
+            raise ValueError(
+                f"col2im scratch must be {padded_shape} {cols.dtype}, "
+                f"got {scratch.shape} {scratch.dtype}"
+            )
+        out = scratch
+        out[...] = 0.0
+    else:
+        out = np.zeros(padded_shape, dtype=cols.dtype)
     for i in range(kh):
         h_end = i + sh * oh
         for j in range(kw):

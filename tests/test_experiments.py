@@ -44,7 +44,9 @@ class TestAnalyticExperiments:
 
     def test_table5_renders_all_rows(self):
         out = run_experiment("table5").render()
-        assert out.count("ResNet-50") == 3 and out.count("ResNet-152") == 3
+        # 3 GPU-count rows per model plus one factor-payload summary row
+        assert out.count("ResNet-50") == 4 and out.count("ResNet-152") == 4
+        assert "tri-packed" in out
 
     def test_table6_imbalance(self):
         result = run_experiment("table6")
