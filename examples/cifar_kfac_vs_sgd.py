@@ -28,6 +28,10 @@ def main() -> None:
     parser.add_argument("--scale", choices=sorted(SCALE_PRESETS), default="tiny")
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--precision", choices=["fp32", "fp16", "bf16"],
+                        default="fp32",
+                        help="mixed-precision policy (autocast compute, "
+                             "loss scaling, compressed collectives)")
     args = parser.parse_args()
 
     preset = SCALE_PRESETS[args.scale]
@@ -43,9 +47,13 @@ def main() -> None:
     print(f"epoch budgets (paper 55:90 ratio): K-FAC {kfac_epochs}, SGD {sgd_epochs}\n")
 
     hist_kfac = train_once(
-        dataset, preset, args.workers, kfac_epochs, default_kfac_hp(), seed=args.seed
+        dataset, preset, args.workers, kfac_epochs, default_kfac_hp(),
+        seed=args.seed, precision=args.precision,
     )
-    hist_sgd = train_once(dataset, preset, args.workers, sgd_epochs, None, seed=args.seed)
+    hist_sgd = train_once(
+        dataset, preset, args.workers, sgd_epochs, None,
+        seed=args.seed, precision=args.precision,
+    )
 
     for name, hist in (("K-FAC", hist_kfac), ("SGD", hist_sgd)):
         xs, ys = hist.accuracy_curve()
@@ -65,6 +73,14 @@ def main() -> None:
         "K-FAC simulated comm seconds:",
         {k: round(v * 1e3, 3) for k, v in hist_kfac.comm_seconds.items()},
     )
+    if args.precision != "fp32":
+        print(
+            f"precision {hist_kfac.precision}: "
+            f"{hist_kfac.amp_skipped_steps} overflow-skipped steps, "
+            f"final loss scale {hist_kfac.final_loss_scale:g}, "
+            "wire bytes:",
+            {k: int(v) for k, v in hist_kfac.comm_bytes.items()},
+        )
 
 
 if __name__ == "__main__":

@@ -17,7 +17,12 @@ Workers are threads communicating through matched named collectives
 (ring allreduce / allgather), so this exercises the real distributed code
 path of Algorithm 1, strategy K-FAC-opt.
 
+``--precision fp16`` (or ``bf16``) runs the mixed-precision recipe end to
+end: autocast forward/backward, dynamic loss scaling with
+skip-step-and-rescale, compressed gradient *and* factor collectives.
+
 Run:  python examples/quickstart.py [--workers 4] [--steps 30]
+                                    [--precision {fp32,fp16,bf16}]
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.nn.metrics import topk_accuracy
 from repro.nn.resnet import resnet20_cifar
 from repro.optim.sgd import SGD
 from repro.parallel.sharding import shard_indices
+from repro.precision import GradScaler, resolve_policy
 
 
 def main() -> None:
@@ -44,7 +50,10 @@ def main() -> None:
     parser.add_argument("--steps", type=int, default=30)
     parser.add_argument("--batch", type=int, default=16, help="per-worker batch size")
     parser.add_argument("--lr", type=float, default=0.2)
+    parser.add_argument("--precision", choices=["fp32", "fp16", "bf16"],
+                        default="fp32", help="mixed-precision policy")
     args = parser.parse_args()
+    policy = resolve_policy(args.precision)
 
     dataset = SyntheticImageDataset(
         SyntheticSpec(n_train=640, n_val=256, num_classes=4, image_size=10,
@@ -59,31 +68,51 @@ def main() -> None:
                                num_classes=4)
         hvd.broadcast_parameters(model)  # identical initial weights
 
+        # every rank holds an identical scaler: the overflow verdict comes
+        # from allreduced (identical) gradients, so skips stay in lockstep
+        scaler = GradScaler(init_scale=2.0**10, enabled=policy.loss_scaling)
         optimizer = SGD(model.parameters(), lr=args.lr, momentum=0.9)
-        optimizer = DistributedOptimizer(optimizer, hvd, model.named_parameters())
+        optimizer = DistributedOptimizer(
+            optimizer, hvd, model.named_parameters(),
+            compression=policy.comm_dtype,  # ~ hvd.Compression.fp16
+        )
         preconditioner = KFAC(
             model, rank=hvd.rank(), world_size=hvd.size(),
             lr=args.lr, damping=0.003, fac_update_freq=1, kfac_update_freq=5,
+            comm_dtype=policy.comm_dtype, grad_scaler=scaler,
         )
         driver = SPMDDriver(preconditioner, hvd)
         criterion = CrossEntropyLoss(label_smoothing=0.1)
 
         indices = shard_indices(len(tx), hvd.size(), hvd.rank(), seed=0, epoch=0)
+        skipped = 0
         for step in range(args.steps):
             lo = (step * args.batch) % max(1, len(indices) - args.batch)
             idx = indices[lo : lo + args.batch]
             optimizer.zero_grad()
-            output = model(tx[idx])
-            loss = criterion(output, ty[idx])
-            model.backward(criterion.backward())
+            with policy.autocast():
+                output = model(tx[idx])
+                loss = criterion(output, ty[idx])
+                model.backward(scaler.scale_grad(criterion.backward()))
 
             optimizer.synchronize()
+            found_inf = scaler.unscale_(p.grad for p in model.parameters())
+            prev_scale = scaler.scale
+            scaler.update(found_inf)
+            if scaler.scale != prev_scale:
+                # compression residuals were banked in old-scale units
+                optimizer.rescale_error_feedback(scaler.scale / prev_scale)
+            if found_inf:
+                skipped += 1  # skip-step-and-rescale: no update this step
+                continue
             driver.step()  # preconditioner.step() across the world
             with optimizer.skip_synchronize():
                 optimizer.step()
 
             if hvd.rank() == 0 and step % 5 == 0:
                 print(f"step {step:3d}  loss {loss:.4f}")
+        if hvd.rank() == 0 and scaler.enabled:
+            print(f"loss scale {scaler.scale:g}, {skipped} overflow-skipped steps")
 
         model.eval()
         accuracy = topk_accuracy(model(vx), vy)

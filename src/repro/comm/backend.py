@@ -35,6 +35,7 @@ from repro.comm.collectives import (
     ring_allreduce,
     ring_reduce_scatter,
 )
+from repro.comm.compression import WireCodec, get_codec, wire_nbytes
 from repro.comm.costmodel import (
     EDR_LIKE,
     NetworkProfile,
@@ -152,15 +153,17 @@ class World:
         buffers: Sequence[np.ndarray],
         op: str = "average",
         phase: str = "allreduce",
+        codec: WireCodec | str | None = None,
     ) -> list[np.ndarray]:
         """Ring-allreduce per-rank buffers; ``op`` is ``"sum"`` or ``"average"``."""
-        return self.allreduce_async(buffers, op=op, phase=phase).wait()
+        return self.allreduce_async(buffers, op=op, phase=phase, codec=codec).wait()
 
     def allreduce_async(
         self,
         buffers: Sequence[np.ndarray],
         op: str = "average",
         phase: str = "allreduce",
+        codec: WireCodec | str | None = None,
     ) -> InFlightHandle[list[np.ndarray]]:
         """Non-blocking ring allreduce.
 
@@ -168,16 +171,34 @@ class World:
         deterministic); the simulated cost is settled at
         ``handle.wait(overlap_seconds=...)``, splitting it into exposed and
         compute-hidden seconds.
+
+        With a ``codec`` (``"fp16"``/``"bf16"``) the wire carries the
+        compressed representation — bytes and seconds are charged at the
+        codec's itemsize — while the reduction itself runs on decoded
+        **fp32 accumulators**; the result is re-quantized to wire
+        precision, exactly like an NCCL half-precision allreduce with
+        fp32 arithmetic.
         """
         bufs = list(buffers)
         if len(bufs) != self.size:
             raise ValueError(f"expected {self.size} buffers, got {len(bufs)}")
-        nbytes = bufs[0].nbytes
-        out = ring_allreduce(bufs)
-        if op == "average":
-            out = [o / self.size for o in out]
-        elif op != "sum":
-            raise ValueError(f"unknown reduction op {op!r}")
+        codec = get_codec(codec)
+        # non-finite payloads are legitimate here: AMP overflow steps ship
+        # saturated values and detect them *after* the reduce, so the ring
+        # arithmetic must not warn about inf/nan propagation
+        with np.errstate(invalid="ignore", over="ignore"):
+            if codec is not None:
+                nbytes = wire_nbytes(bufs[0], codec)
+                bufs = [codec.decode(codec.encode(b)) for b in bufs]
+            else:
+                nbytes = bufs[0].nbytes
+            out = ring_allreduce(bufs)
+            if op == "average":
+                out = [o / self.size for o in out]
+            elif op != "sum":
+                raise ValueError(f"unknown reduction op {op!r}")
+            if codec is not None:
+                out = [codec.quantize(o) for o in out]
         t = allreduce_time(nbytes, self.size, self.net)
         self.stats.record(phase, nbytes)
         return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
@@ -333,7 +354,10 @@ class World:
         self, kind: str, ordered: list[np.ndarray], meta: Any, overlap_seconds: float = 0.0
     ) -> list[Any]:
         if kind == "allreduce":
-            return self.allreduce_async(ordered, op=meta[0], phase=meta[1]).wait(overlap_seconds)
+            codec = meta[2] if len(meta) > 2 else None
+            return self.allreduce_async(
+                ordered, op=meta[0], phase=meta[1], codec=codec
+            ).wait(overlap_seconds)
         if kind == "allgather":
             return self.allgather_async(ordered, phase=meta[1]).wait(overlap_seconds)
         if kind == "broadcast":
@@ -357,15 +381,30 @@ class RankView:
         return self.world.size
 
     def allreduce(
-        self, tensor: np.ndarray, name: str, op: str = "average", phase: str = "allreduce"
+        self,
+        tensor: np.ndarray,
+        name: str,
+        op: str = "average",
+        phase: str = "allreduce",
+        codec: str | None = None,
     ) -> np.ndarray:
-        """Blocking named allreduce (matched across ranks by ``name``)."""
+        """Blocking named allreduce (matched across ranks by ``name``).
+
+        ``codec`` names a wire compression (``"fp16"``/``"bf16"``); it is
+        part of the matched metadata, so every rank must request the same
+        transport precision.
+        """
         return self.world._post_matched(
-            "allreduce", name, self.rank, tensor, (op, phase), self.timeout
+            "allreduce", name, self.rank, tensor, (op, phase, codec), self.timeout
         )
 
     def allreduce_async(
-        self, tensor: np.ndarray, name: str, op: str = "average", phase: str = "allreduce"
+        self,
+        tensor: np.ndarray,
+        name: str,
+        op: str = "average",
+        phase: str = "allreduce",
+        codec: str | None = None,
     ) -> LaunchedHandle[np.ndarray]:
         """Non-blocking named allreduce; the matched post happens at wait.
 
@@ -375,7 +414,7 @@ class RankView:
         """
         return LaunchedHandle(
             lambda ov: self.world._post_matched(
-                "allreduce", name, self.rank, tensor, (op, phase), self.timeout, ov
+                "allreduce", name, self.rank, tensor, (op, phase, codec), self.timeout, ov
             )
         )
 

@@ -114,18 +114,34 @@ class CommEngine:
             raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
         self.world = world
         self.bucket_bytes = bucket_bytes
-        self._fusions: dict[tuple[str, str], FusionBuffer] = {}
+        self._fusions: dict[tuple[str, str, str | None], FusionBuffer] = {}
         self._in_flight: list[InFlightHandle] = []
 
     # ------------------------------------------------------------------
     # fusion (gradient exchange and any other bucketed sync reduction)
     # ------------------------------------------------------------------
-    def fusion(self, op: str = "average", phase: str = "fused_allreduce") -> FusionBuffer:
-        """The persistent fusion buffer for (op, phase) — created once."""
-        key = (op, phase)
+    def fusion(
+        self,
+        op: str = "average",
+        phase: str = "fused_allreduce",
+        codec: str | None = None,
+        error_feedback: bool = True,
+    ) -> FusionBuffer:
+        """The persistent fusion buffer for (op, phase, codec) — created once.
+
+        ``codec`` selects the wire compression (``"fp16"``/``"bf16"``,
+        fp32 reduction accumulators); ``error_feedback`` banks the
+        per-bucket quantization residuals across flushes.
+        """
+        key = (op, phase, codec if codec is None else str(codec))
         if key not in self._fusions:
             self._fusions[key] = FusionBuffer(
-                self.world, capacity_bytes=self.bucket_bytes, op=op, phase=phase
+                self.world,
+                capacity_bytes=self.bucket_bytes,
+                op=op,
+                phase=phase,
+                codec=codec,
+                error_feedback=error_feedback,
             )
         return self._fusions[key]
 

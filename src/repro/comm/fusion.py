@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.comm.backend import World
+from repro.comm.compression import ErrorFeedback, WireCodec, get_codec, wire_nbytes
 from repro.tensor.gram import mirror_upper
 
 __all__ = ["FusionBuffer", "tri_len", "tri_pack", "tri_unpack"]
@@ -103,6 +104,8 @@ class FusionBuffer:
         capacity_bytes: int = 16 << 20,
         op: str = "average",
         phase: str = "fused_allreduce",
+        codec: WireCodec | str | None = None,
+        error_feedback: bool = True,
     ) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
@@ -110,13 +113,21 @@ class FusionBuffer:
         self.capacity_bytes = capacity_bytes
         self.op = op
         self.phase = phase
+        #: wire compression for every flush (fp16/bf16 transport with fp32
+        #: reduction accumulators); ``error_feedback`` banks each tensor's
+        #: per-rank quantization residual and re-injects it on the next add
+        self.codec = get_codec(codec)
+        self._error_feedback: ErrorFeedback | None = (
+            ErrorFeedback(self.codec) if self.codec is not None and error_feedback else None
+        )
         self._entries: list[tuple[str, list[np.ndarray]]] = []
         self._pending_bytes = 0
         self._results: dict[str, list[np.ndarray]] = {}
         self.flush_count = 0
         #: cumulative per-rank payload actually sent through fused flushes —
         #: the "true fused payload" a persistent buffer accumulates across
-        #: iterations (trainer accounting reads this).
+        #: iterations (trainer accounting reads this), priced at the wire
+        #: itemsize when a codec is set.
         self.bytes_flushed = 0
 
     def add(self, name: str, per_rank_tensors: list[np.ndarray]) -> None:
@@ -131,8 +142,13 @@ class FusionBuffer:
         for r, t in enumerate(per_rank_tensors):
             if t.shape != shape:
                 raise ValueError(f"{name!r}: rank {r} shape {t.shape} != {shape}")
-        self._entries.append((name, list(per_rank_tensors)))
-        self._pending_bytes += per_rank_tensors[0].nbytes
+        tensors = list(per_rank_tensors)
+        if self._error_feedback is not None:
+            tensors = [
+                self._error_feedback.apply((name, r), t) for r, t in enumerate(tensors)
+            ]
+        self._entries.append((name, tensors))
+        self._pending_bytes += wire_nbytes(tensors[0], self.codec)
         if self._pending_bytes >= self.capacity_bytes:
             self.flush()
 
@@ -148,14 +164,26 @@ class FusionBuffer:
             np.concatenate([tensors[r].reshape(-1) for _, tensors in self._entries])
             for r in range(self.world.size)
         ]
-        reduced = self.world.allreduce(fused, op=self.op, phase=self.phase)
+        reduced = self.world.allreduce(
+            fused, op=self.op, phase=self.phase, codec=self.codec
+        )
         for i, name in enumerate(names):
             lo, hi = int(offsets[i]), int(offsets[i + 1])
             self._results[name] = [r[lo:hi].reshape(shapes[i]).copy() for r in reduced]
         self._entries.clear()
         self._pending_bytes = 0
         self.flush_count += 1
-        self.bytes_flushed += fused[0].nbytes
+        self.bytes_flushed += wire_nbytes(fused[0], self.codec)
+
+    def rescale_residuals(self, factor: float) -> None:
+        """Rescale banked error-feedback residuals (no-op without EF).
+
+        Callers feeding *loss-scaled* gradients must invoke this with
+        ``new_scale / old_scale`` whenever the scale changes, so residuals
+        banked in old-scale units re-inject at the right magnitude.
+        """
+        if self._error_feedback is not None:
+            self._error_feedback.rescale(factor)
 
     def pop(self, name: str) -> list[np.ndarray]:
         """Return (and forget) the reduced per-rank results for ``name``.

@@ -28,6 +28,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.comm.backend import RankView
+from repro.comm.compression import ErrorFeedback, get_codec
 from repro.comm.handles import DeferredHandle, Handle, LaunchedHandle
 from repro.nn.module import Module, Parameter
 from repro.optim.base import Optimizer
@@ -52,10 +53,19 @@ class HorovodContext:
         return self._view.size
 
     def allreduce(
-        self, tensor: np.ndarray, name: str, op: str = Average, phase: str = "allreduce"
+        self,
+        tensor: np.ndarray,
+        name: str,
+        op: str = Average,
+        phase: str = "allreduce",
+        codec: str | None = None,
     ) -> np.ndarray:
-        """Blocking allreduce matched across ranks by ``name``."""
-        return self._view.allreduce(tensor, name=name, op=op, phase=phase)
+        """Blocking allreduce matched across ranks by ``name``.
+
+        ``codec`` compresses the wire (``"fp16"``/``"bf16"``, mirroring
+        ``hvd.Compression.fp16``); every rank must pass the same value.
+        """
+        return self._view.allreduce(tensor, name=name, op=op, phase=phase, codec=codec)
 
     def allreduce_async_(
         self, tensor: np.ndarray, name: str, op: str = Average, phase: str = "allreduce"
@@ -64,7 +74,12 @@ class HorovodContext:
         return DeferredHandle(lambda: self.allreduce(tensor, name, op, phase))
 
     def allreduce_async(
-        self, tensor: np.ndarray, name: str, op: str = Average, phase: str = "allreduce"
+        self,
+        tensor: np.ndarray,
+        name: str,
+        op: str = Average,
+        phase: str = "allreduce",
+        codec: str | None = None,
     ) -> LaunchedHandle[np.ndarray]:
         """Non-blocking allreduce whose wait accepts an overlap budget.
 
@@ -72,7 +87,9 @@ class HorovodContext:
         of local compute performed since the launch; the world hides up to
         the minimum budget across ranks from the op's accounted time.
         """
-        return self._view.allreduce_async(tensor, name=name, op=op, phase=phase)
+        return self._view.allreduce_async(
+            tensor, name=name, op=op, phase=phase, codec=codec
+        )
 
     def allgather(self, tensor: np.ndarray, name: str, phase: str = "allgather") -> list[np.ndarray]:
         return self._view.allgather(tensor, name=name, phase=phase)
@@ -113,6 +130,7 @@ class DistributedOptimizer:
         hvd: HorovodContext,
         named_parameters: Iterable[tuple[str, Parameter]],
         op: str = Average,
+        compression: str | None = None,
     ) -> None:
         self.optimizer = optimizer
         self.hvd = hvd
@@ -120,6 +138,11 @@ class DistributedOptimizer:
         if not self.named_params:
             raise ValueError("DistributedOptimizer requires named parameters")
         self.op = op
+        #: wire codec for the gradient exchange (~ ``hvd.Compression.fp16``),
+        #: with per-parameter error-feedback residuals kept rank-locally
+        self.compression = compression
+        codec = get_codec(compression)
+        self._error_feedback = ErrorFeedback(codec) if codec is not None else None
         self._synchronized = False
         self._skip = False
         self._round = 0
@@ -139,11 +162,28 @@ class DistributedOptimizer:
         """Average all parameter gradients across ranks, in place."""
         tag = self._round
         for name, p in self.named_params:
+            g = p.grad
+            if self._error_feedback is not None:
+                g = self._error_feedback.apply(name, g)
             p.grad[...] = self.hvd.allreduce(
-                p.grad, name=f"grad:{name}:{tag}", op=self.op, phase="grad_allreduce"
+                g,
+                name=f"grad:{name}:{tag}",
+                op=self.op,
+                phase="grad_allreduce",
+                codec=self.compression,
             )
         self._round += 1
         self._synchronized = True
+
+    def rescale_error_feedback(self, factor: float) -> None:
+        """Rescale compression residuals after a loss-scale change.
+
+        With ``compression`` set and gradients arriving loss-scaled, call
+        with ``new_scale / old_scale`` right after ``GradScaler.update``
+        changes the scale (see the quickstart example).
+        """
+        if self._error_feedback is not None:
+            self._error_feedback.rescale(factor)
 
     @contextmanager
     def skip_synchronize(self) -> Iterator[None]:

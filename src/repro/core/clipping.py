@@ -48,7 +48,15 @@ def kl_clip_factor(
     for pg, g in zip(precond_grads, raw_grads):
         if pg.shape != g.shape:
             raise ValueError(f"shape mismatch {pg.shape} vs {g.shape}")
-        vg_sum += float(np.abs((pg * g).sum()) * lr * lr)
+        # accumulate the Eq. 18 inner products in float64 regardless of the
+        # gradient dtype: fp16 grads of magnitude ~1e2 already overflow a
+        # half-precision product sum (max 65504), and tiny ones underflow
+        # to a spuriously-clipped nu
+        inner = np.dot(
+            pg.ravel().astype(np.float64, copy=False),
+            g.ravel().astype(np.float64, copy=False),
+        )
+        vg_sum += abs(float(inner)) * lr * lr
     if vg_sum <= eps:
         return 1.0
     return min(1.0, math.sqrt(kl_clip / vg_sum))

@@ -97,6 +97,8 @@ class AllReduceRequest:
     tensors: list[np.ndarray]
     op: str = "average"
     phase: str = "allreduce"
+    #: wire compression name ("fp16"/"bf16"); None = dtype-preserving
+    comm_dtype: str | None = None
 
 
 @dataclass
@@ -125,6 +127,8 @@ class AllReduceLaunch:
     op: str = "average"
     phase: str = "allreduce"
     tag: str = ""
+    #: wire compression name ("fp16"/"bf16"); None = dtype-preserving
+    comm_dtype: str | None = None
 
 
 @dataclass

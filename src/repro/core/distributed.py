@@ -124,7 +124,9 @@ class PhaseController:
             if [t.shape for t in req.tensors] != shapes:
                 raise RuntimeError(f"rank {r} allreduce shapes diverged")
         fused = [pack_arrays(req.tensors) for req in reqs]
-        reduced = self.world.allreduce(fused, op=reqs[0].op, phase=reqs[0].phase)
+        reduced = self.world.allreduce(
+            fused, op=reqs[0].op, phase=reqs[0].phase, codec=reqs[0].comm_dtype
+        )
         return [unpack_arrays(flat, shapes) for flat in reduced]
 
     def _run_allgather(self, reqs: list[AllGatherRequest]) -> list[list[np.ndarray]]:
@@ -149,7 +151,9 @@ class PhaseController:
                 if [t.shape for t in req.tensors] != shapes:
                     raise RuntimeError(f"rank {r} launch {tag!r} shapes diverged")
             fused = [pack_arrays(req.tensors) for req in reqs]
-            handle = self.world.allreduce_async(fused, op=reqs[0].op, phase=reqs[0].phase)
+            handle = self.world.allreduce_async(
+                fused, op=reqs[0].op, phase=reqs[0].phase, codec=reqs[0].comm_dtype
+            )
             pending[tag] = (handle, shapes)
         else:
             contributions = [req.tensor for req in reqs]
@@ -200,7 +204,9 @@ class SPMDDriver:
                 seq += 1
                 shapes = [t.shape for t in req.tensors]
                 flat = pack_arrays(req.tensors)
-                reduced = self.hvd.allreduce(flat, name=name, op=req.op, phase=req.phase)
+                reduced = self.hvd.allreduce(
+                    flat, name=name, op=req.op, phase=req.phase, codec=req.comm_dtype
+                )
                 req = _advance(gen, unpack_arrays(reduced, shapes))
             elif isinstance(req, AllGatherRequest):
                 name = f"kfac:{req.phase}:{seq}"
@@ -215,7 +221,11 @@ class SPMDDriver:
                 shapes = [t.shape for t in req.tensors]
                 flat = pack_arrays(req.tensors)
                 handle = self.hvd.allreduce_async(
-                    flat, name=f"kfac:{req.phase}:{req.tag}", op=req.op, phase=req.phase
+                    flat,
+                    name=f"kfac:{req.phase}:{req.tag}",
+                    op=req.op,
+                    phase=req.phase,
+                    codec=req.comm_dtype,
                 )
                 pending[req.tag] = (handle, shapes)
                 req = _advance(gen, None)

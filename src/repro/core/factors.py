@@ -184,6 +184,10 @@ def conv2d_factor_A_from_patches(
     """
     if patches.ndim != 2:
         raise ValueError(f"patches must be (N*L, D), got {patches.shape}")
+    if patches.dtype == np.float16:
+        # AMP caches fp16 patches, but factors accumulate in fp32 (the
+        # precision-policy rule) — and fp16 has no BLAS syrk anyway
+        patches = patches.astype(np.float32)
     rows = patches.shape[0]
     if not has_bias:
         return _gram_scaled(patches, rows, False, workspace)

@@ -36,6 +36,7 @@ from typing import Any, Generator, Sequence
 
 import numpy as np
 
+from repro.comm.compression import ErrorFeedback, get_codec, wire_nbytes
 from repro.comm.engine import (
     DEFAULT_BUCKET_BYTES,
     estimate_second_order_seconds,
@@ -115,6 +116,15 @@ class KFACHyperParams:
         both the synchronous and pipelined paths.  Lossless: the syrk Gram
         kernel makes factors exactly symmetric, and averaging triangles
         then mirroring is bit-identical to averaging full matrices.
+    comm_dtype:
+        Wire precision of the factor allreduce: ``None`` (dtype-preserving,
+        the default), ``"fp16"`` or ``"bf16"``.  Compressed transport uses
+        fp32 reduction accumulators and per-factor error-feedback
+        residuals, halves factor-stage bytes *again* on top of
+        ``symmetric_comm``, and composes with both the synchronous and
+        pipelined routes.  Lossy (unlike ``symmetric_comm``) but bounded:
+        the EMA absorbs the quantization noise and the residuals re-inject
+        it, so trajectories track the full-precision run.
     """
 
     lr: float = 0.1
@@ -130,8 +140,15 @@ class KFACHyperParams:
     async_comm: bool = False
     bucket_bytes: int = DEFAULT_BUCKET_BYTES
     symmetric_comm: bool = True
+    comm_dtype: str | None = None
 
     def __post_init__(self) -> None:
+        if self.comm_dtype in ("fp32", "none"):
+            self.comm_dtype = None
+        if self.comm_dtype not in (None, "fp16", "bf16"):
+            raise ValueError(
+                f"comm_dtype must be None, 'fp16' or 'bf16', got {self.comm_dtype!r}"
+            )
         if self.damping <= 0:
             raise ValueError(f"damping must be positive, got {self.damping}")
         if not 0 <= self.factor_decay < 1:
@@ -172,6 +189,7 @@ class KFAC:
         rank: int = 0,
         world_size: int = 1,
         hyper: KFACHyperParams | None = None,
+        grad_scaler: Any | None = None,
         **overrides: Any,
     ) -> None:
         if world_size < 1 or not 0 <= rank < world_size:
@@ -192,6 +210,15 @@ class KFAC:
         self.model = model
         self.rank = rank
         self.world_size = world_size
+        #: AMP loss scaler (see :class:`repro.precision.GradScaler`): when
+        #: set, captured output-gradients are divided by the current scale
+        #: so ``G`` factors are built from *unscaled* statistics
+        self.grad_scaler = grad_scaler
+        #: per-factor quantization residuals for compressed factor comm
+        codec = get_codec(base.comm_dtype)
+        self._comm_ef: ErrorFeedback | None = (
+            ErrorFeedback(codec) if codec is not None else None
+        )
         self.steps = 0
         # mutable knobs (targets of KFACParamScheduler)
         self.lr = base.lr
@@ -240,6 +267,10 @@ class KFAC:
     def _make_backward_hook(self, handler: KFACLayer):
         def hook(module: Module, grad_out: np.ndarray) -> None:
             if module.training and self._capture_now:
+                scaler = self.grad_scaler
+                if scaler is not None and getattr(scaler, "enabled", True):
+                    # undo the loss scale so G sees true gradient statistics
+                    grad_out = grad_out / scaler.scale
                 handler.save_grad_output(grad_out)
 
         return hook
@@ -320,8 +351,12 @@ class KFAC:
                     tensors = pack_symmetric(factors)
                 else:
                     tensors = factors
+                tensors = self._compress_factor_tensors(tensors)
                 reduced = yield AllReduceRequest(
-                    tensors=tensors, op="average", phase="factor_comm"  # type: ignore[arg-type]
+                    tensors=tensors,  # type: ignore[arg-type]
+                    op="average",
+                    phase="factor_comm",
+                    comm_dtype=self.hp.comm_dtype,
                 )
                 if self.hp.symmetric_comm:
                     reduced = unpack_symmetric(
@@ -346,6 +381,21 @@ class KFAC:
 
         self.steps += 1
 
+    def _compress_factor_tensors(self, tensors: list[np.ndarray]) -> list[np.ndarray]:
+        """Quantize factor payloads for compressed transport, with EF.
+
+        A no-op without ``comm_dtype``.  Residuals are keyed by factor so
+        what fp16/bf16 rounds away this exchange is re-injected into the
+        next one; the yielded arrays are wire-precision fp32 values (the
+        driver's codec round-trips them losslessly and charges wire bytes).
+        """
+        if self._comm_ef is None:
+            return tensors
+        return [
+            self._comm_ef.apply(meta.key, t)
+            for meta, t in zip(self._factor_metas, tensors)
+        ]
+
     # -- pipelined COMM_OPT factor + second-order update -------------------
     def _pipelined_update_comm_opt(self) -> Generator[Any, Any, None]:
         """Bucketed factor allreduce overlapped with eigendecompositions.
@@ -364,10 +414,16 @@ class KFAC:
         """
         eigen = self.hp.use_eigen_decomp
         symmetric = self.hp.symmetric_comm
+        codec = get_codec(self.hp.comm_dtype)
         factors = [l.A for l in self.layers] + [l.G for l in self.layers]
         metas = self._factor_metas  # same order as ``factors``
         tensors = pack_symmetric(factors) if symmetric else factors
-        buckets = partition_buckets([t.nbytes for t in tensors], self.hp.bucket_bytes)
+        tensors = self._compress_factor_tensors(tensors)
+        # partition by *wire* bytes: under compressed transport the halved
+        # payload (again on top of triangular packing) sets pipeline depth
+        buckets = partition_buckets(
+            [wire_nbytes(t, codec) for t in tensors], self.hp.bucket_bytes
+        )
         # same promotion rule as the sync path's pack_arrays(dtype=None), so
         # mixed-precision models keep their widest dtype in transit; pinned
         # explicitly because ranks owning nothing in a chunk still must
@@ -379,6 +435,7 @@ class KFAC:
             op="average",
             phase="factor_comm",
             tag="fac:0",
+            comm_dtype=self.hp.comm_dtype,
         )
         pending_compute = 0.0
         for b, bucket in enumerate(buckets):
@@ -399,6 +456,7 @@ class KFAC:
                     op="average",
                     phase="factor_comm",
                     tag=f"fac:{b + 1}",
+                    comm_dtype=self.hp.comm_dtype,
                 )
             # decompose this rank's share of the just-reduced bucket while
             # the next bucket's allreduce is in flight

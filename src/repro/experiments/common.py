@@ -159,6 +159,7 @@ def train_once(
     batch_size: int | None = None,
     lr: float | None = None,
     label_smoothing: float = 0.1,
+    precision: str = "fp32",
 ) -> TrainingHistory:
     """One training run with the paper-proportional recipe."""
     bs = batch_size if batch_size is not None else preset.batch_size_per_worker
@@ -177,6 +178,7 @@ def train_once(
         label_smoothing=label_smoothing,
         seed=seed,
         kfac=kfac,
+        precision=precision,
     )
     tx, ty, vx, vy = dataset.splits
     trainer = DataParallelTrainer(

@@ -12,6 +12,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Module, Parameter
+from repro.tensor.amp import amp_matmul, cast_compute_storage
+from repro.tensor.dtypes import DEFAULT_DTYPE
 from repro.tensor.im2col import col2im, conv_out_size, im2col
 from repro.tensor.initializers import kaiming_normal, kaiming_uniform, zeros_init
 from repro.tensor.workspace import Workspace, default_workspace
@@ -63,17 +65,17 @@ class Linear(Module):
         if x.ndim != 2:
             raise ValueError(f"Linear expects (N, in_features), got {x.shape}")
         self._x = x
-        y = x @ self.weight.data.T
+        y = amp_matmul(x, self.weight.data.T)
         if self.bias is not None:
             y += self.bias.data
         return y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         assert self._x is not None, "backward called before forward"
-        self.weight.grad += grad_out.T @ self._x
+        self.weight.grad += amp_matmul(grad_out.T, self._x)
         if self.bias is not None:
             self.bias.grad += grad_out.sum(axis=0)
-        return grad_out @ self.weight.data
+        return amp_matmul(grad_out, self.weight.data)
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -145,12 +147,15 @@ class Conv2d(Module):
             # previous lowering instead of orphaning it
             self.workspace.release(self._cols)
             self._cols = None
-        cols = self.workspace.request((n * oh * ow, c * kh * kw), x.dtype)
-        cols = im2col(x, self.kernel_size, self.stride, self.padding, out=cols)
+        # im2col runs in the compute dtype (fp16 patches under AMP: half
+        # the lowering traffic, the Osawa et al. half-precision capture)
+        x_c = cast_compute_storage(x)
+        cols = self.workspace.request((n * oh * ow, c * kh * kw), x_c.dtype)
+        cols = im2col(x_c, self.kernel_size, self.stride, self.padding, out=cols)
         self._cols = cols
         self._cols_claimed = False
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        y = cols @ w_mat.T  # (N*OH*OW, out)
+        y = amp_matmul(cols, w_mat.T)  # (N*OH*OW, out), fp32+ accumulation
         if self.bias is not None:
             y += self.bias.data
         return np.ascontiguousarray(
@@ -180,10 +185,10 @@ class Conv2d(Module):
         n, out_c, oh, ow = grad_out.shape
         dy = grad_out.transpose(0, 2, 3, 1).reshape(n * oh * ow, out_c)
         w_mat = self.weight.data.reshape(self.out_channels, -1)
-        self.weight.grad += (dy.T @ self._cols).reshape(self.weight.data.shape)
+        self.weight.grad += amp_matmul(dy.T, self._cols).reshape(self.weight.data.shape)
         if self.bias is not None:
             self.bias.grad += dy.sum(axis=0)
-        dcols = dy @ w_mat
+        dcols = amp_matmul(dy, w_mat)
         cols, self._cols = self._cols, None
         if not self._cols_claimed:
             self.workspace.release(cols)
@@ -228,10 +233,10 @@ class BatchNorm2d(Module):
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
-        self.weight = Parameter(np.ones(num_features, dtype=np.float32), name="weight")
-        self.bias = Parameter(np.zeros(num_features, dtype=np.float32), name="bias")
-        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
-        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        self.weight = Parameter(np.ones(num_features, dtype=DEFAULT_DTYPE), name="weight")
+        self.bias = Parameter(np.zeros(num_features, dtype=DEFAULT_DTYPE), name="bias")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=DEFAULT_DTYPE))
+        self.register_buffer("running_var", np.ones(num_features, dtype=DEFAULT_DTYPE))
         self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:

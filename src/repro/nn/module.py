@@ -162,6 +162,24 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    def cast_(self, dtype: "np.dtype | str") -> "Module":
+        """Cast every parameter (data + grad) and buffer to ``dtype`` in place.
+
+        This converts *storage*: ``model.cast_(np.float16)`` produces the
+        low-precision working copies of the mixed-precision recipe (pair
+        with :class:`repro.precision.MasterWeightOptimizer`, which keeps
+        the fp32 masters), and ``cast_(np.float64)`` produces a
+        double-precision model.
+        """
+        dt = np.dtype(dtype)
+        for module in self.modules():
+            for p in module._parameters.values():
+                p.data = p.data.astype(dt)
+                p.grad = p.grad.astype(dt)
+            for bname in list(module._buffers):
+                module._set_buffer(bname, np.asarray(module._buffers[bname]).astype(dt))
+        return self
+
     # -- state ----------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
         """Copy of all parameters and buffers, keyed by dotted path."""

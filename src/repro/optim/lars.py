@@ -54,3 +54,12 @@ class LARS(Optimizer):
             buf *= self.momentum
             buf += local_lr * g
             p.data -= self.lr * buf
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["buffers"] = [b.copy() for b in self._buffers]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._buffers = [b.copy() for b in state["buffers"]]

@@ -18,7 +18,7 @@ paper's experiments report Top-1 validation accuracy per epoch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -35,6 +35,7 @@ from repro.optim.base import Optimizer
 from repro.optim.lr_scheduler import ConstantSchedule, LRSchedule
 from repro.optim.sgd import SGD
 from repro.parallel.sharding import ShardedIndexSampler
+from repro.precision import GradScaler, PrecisionPolicy, resolve_policy
 from repro.utils.timer import Stopwatch
 
 __all__ = ["TrainerConfig", "EpochStats", "TrainingHistory", "DataParallelTrainer"]
@@ -60,6 +61,14 @@ class TrainerConfig:
     kfac: KFACHyperParams | None = None
     lr_schedule: LRSchedule = field(default_factory=lambda: ConstantSchedule(0.1))
     kfac_scheduler_factory: Callable[[KFAC], object] | None = None
+    #: precision policy name ("fp32"/"fp16"/"bf16"/"fp64") or a
+    #: :class:`repro.precision.PrecisionPolicy`; governs the compute dtype
+    #: of forward/backward GEMMs, the wire codec of gradient *and* factor
+    #: collectives, and whether dynamic loss scaling is armed
+    precision: str | PrecisionPolicy = "fp32"
+    #: optional pre-configured scaler (e.g. custom growth interval); by
+    #: default one is built armed iff the policy calls for loss scaling
+    grad_scaler: GradScaler | None = None
 
     def __post_init__(self) -> None:
         if self.world_size < 1:
@@ -68,6 +77,7 @@ class TrainerConfig:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        resolve_policy(self.precision)  # fail fast on unknown names
 
 
 @dataclass
@@ -99,6 +109,11 @@ class TrainingHistory:
     comm_bytes: dict[str, float] = field(default_factory=dict)
     total_iterations: int = 0
     grad_fusion_flushes: int = 0
+    #: precision policy the run used, plus its loss-scaling record: updates
+    #: skipped on overflow (scale backed off) and the final scale value
+    precision: str = "fp32"
+    amp_skipped_steps: int = 0
+    final_loss_scale: float = 1.0
 
     @property
     def final_val_accuracy(self) -> float:
@@ -166,12 +181,31 @@ class DataParallelTrainer:
         self.losses = [
             CrossEntropyLoss(config.label_smoothing) for _ in range(config.world_size)
         ]
+        self.policy = resolve_policy(config.precision)
+        # one scaler shared by every replica: the overflow verdict is taken
+        # on allreduced (identical) gradients, so all ranks skip in lockstep
+        self.grad_scaler = (
+            config.grad_scaler
+            if config.grad_scaler is not None
+            else GradScaler(enabled=self.policy.loss_scaling)
+        )
         self.kfacs: list[KFAC] | None = None
         self.kfac_controller: PhaseController | None = None
         self.kfac_schedulers: list[object] | None = None
         if config.kfac is not None:
+            kfac_hp = config.kfac
+            if self.policy.comm_dtype is not None and kfac_hp.comm_dtype is None:
+                # the policy's wire precision extends to factor comm unless
+                # the user pinned comm_dtype explicitly
+                kfac_hp = replace(kfac_hp, comm_dtype=self.policy.comm_dtype)
             self.kfacs = [
-                KFAC(m, rank=r, world_size=config.world_size, hyper=config.kfac)
+                KFAC(
+                    m,
+                    rank=r,
+                    world_size=config.world_size,
+                    hyper=kfac_hp,
+                    grad_scaler=self.grad_scaler,
+                )
                 for r, m in enumerate(self.replicas)
             ]
             self.kfac_controller = PhaseController(self.kfacs, self.world)
@@ -190,7 +224,9 @@ class DataParallelTrainer:
         self.comm_engine = CommEngine(
             self.world, bucket_bytes=config.fusion_capacity_bytes
         )
-        self._grad_fusion = self.comm_engine.fusion(op="average", phase="grad_allreduce")
+        self._grad_fusion = self.comm_engine.fusion(
+            op="average", phase="grad_allreduce", codec=self.policy.comm_dtype
+        )
         self.stopwatches = {
             name: Stopwatch() for name in ("io", "forward", "backward", "exchange", "update")
         }
@@ -218,21 +254,56 @@ class DataParallelTrainer:
                 per_rank_params[r][name].grad[...] = reduced[r]
 
     def train_iteration(self, batches: list[tuple[np.ndarray, np.ndarray]], lr: float) -> float:
-        """Run one synchronous iteration; returns the mean local loss."""
+        """Run one synchronous iteration; returns the mean local loss.
+
+        Under a half-precision policy the forward/backward pass runs in the
+        policy's compute dtype (autocast), the backward seed is multiplied
+        by the dynamic loss scale, and — after the (possibly compressed)
+        gradient exchange — gradients are unscaled and checked: any inf/NaN
+        skips *both* the K-FAC preconditioning and the optimizer step and
+        backs the scale off (skip-step-and-rescale).
+        """
         cfg = self.config
+        scaler = self.grad_scaler
         local_losses = []
-        for r in range(cfg.world_size):
-            x, y = batches[r]
-            with self.stopwatches["forward"]:
-                self.optimizers[r].zero_grad()
-                logits = self.replicas[r](x)
-                loss_val = self.losses[r](logits, y)
-            with self.stopwatches["backward"]:
-                self.replicas[r].backward(self.losses[r].backward())
-            local_losses.append(loss_val)
+        # scaled backward passes overflow by design while the scale probes
+        # its ceiling; inf/nan is detected after the exchange, not warned
+        overflow_ok = (
+            np.errstate(invalid="ignore", over="ignore")
+            if scaler.enabled
+            else np.errstate()
+        )
+        with self.policy.autocast(), overflow_ok:
+            for r in range(cfg.world_size):
+                x, y = batches[r]
+                with self.stopwatches["forward"]:
+                    self.optimizers[r].zero_grad()
+                    logits = self.replicas[r](x)
+                    loss_val = self.losses[r](logits, y)
+                with self.stopwatches["backward"]:
+                    seed = scaler.scale_grad(self.losses[r].backward())
+                    self.replicas[r].backward(seed)
+                local_losses.append(loss_val)
         with self.stopwatches["exchange"]:
             self._exchange_gradients()
         with self.stopwatches["update"]:
+            if scaler.enabled:
+                found_inf = False
+                for r in range(cfg.world_size):
+                    found = scaler.unscale_(
+                        p.grad for p in self.replicas[r].parameters()
+                    )
+                    if r == 0:
+                        found_inf = found  # grads identical across ranks
+                prev_scale = scaler.scale
+                scaler.update(found_inf)
+                if scaler.scale != prev_scale:
+                    # fusion-buffer EF residuals are banked in *scaled*
+                    # gradient units; convert them to the new scale
+                    self._grad_fusion.rescale_residuals(scaler.scale / prev_scale)
+                if found_inf:
+                    # overflow: skip preconditioning and update, rescale
+                    return float(np.mean(local_losses))
             if self.kfac_controller is not None:
                 assert self.kfacs is not None
                 for k in self.kfacs:
@@ -312,4 +383,7 @@ class DataParallelTrainer:
         }
         history.comm_bytes = dict(self.world.stats.bytes_by_phase)
         history.grad_fusion_flushes = self._grad_fusion.flush_count
+        history.precision = self.policy.name
+        history.amp_skipped_steps = self.grad_scaler.steps_skipped
+        history.final_loss_scale = self.grad_scaler.scale
         return history

@@ -74,6 +74,13 @@ class DeviceProfile:
     eig_factor_overhead: float
     #: fixed per-iteration seconds (data pipeline, launches, sync)
     per_iter_overhead: float
+    #: effective FLOP/s for fp16/bf16 GEMMs on the Tensor Cores (0 means
+    #: no Tensor Cores: half-precision compute falls back to gemm_flops).
+    #: Effective, not peak: V100 HMMA peaks at 125 TFLOPs but framework
+    #: kernels with fp32 accumulation land nearer 3x the fp32 rate.
+    tensorcore_flops: float = 0.0
+    #: effective FLOP/s multiplier for fp64 GEMMs (V100: half rate)
+    fp64_flops_scale: float = 0.5
 
 
 @dataclass(frozen=True)
@@ -117,6 +124,7 @@ V100_LIKE = DeviceProfile(
     eig_flop_coef=10.0,
     eig_factor_overhead=0.010,
     per_iter_overhead=0.020,
+    tensorcore_flops=21.0e12,
 )
 
 FRONTERA_LIKE = ClusterProfile(

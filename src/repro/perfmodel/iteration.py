@@ -43,7 +43,22 @@ from repro.perfmodel.costs import (
 from repro.perfmodel.hardware import ClusterProfile, DeviceProfile
 from repro.perfmodel.specs import ModelSpec
 
-__all__ = ["KfacIntervals", "IterationModel", "StageProfile"]
+__all__ = ["KfacIntervals", "IterationModel", "StageProfile", "PRECISIONS"]
+
+#: precision names the model understands (mirrors repro.precision policies)
+PRECISIONS = ("fp32", "fp16", "bf16", "fp64")
+
+#: wire itemsize of the compressed gradient/factor collectives per policy
+_COMM_ITEMSIZE = {"fp32": 4, "fp16": 2, "bf16": 2, "fp64": 8}
+
+#: storage itemsize of the compute-dtype operands (im2col patch traffic)
+_COMPUTE_ITEMSIZE = {"fp32": 4, "fp16": 2, "bf16": 2, "fp64": 8}
+
+
+def _check_precision(precision: str) -> str:
+    if precision not in PRECISIONS:
+        raise ValueError(f"unknown precision {precision!r}; choose from {PRECISIONS}")
+    return precision
 
 
 @dataclass(frozen=True)
@@ -133,39 +148,66 @@ class IterationModel:
     # ------------------------------------------------------------------
     # base (SGD) stages
     # ------------------------------------------------------------------
-    def effective_gemm_flops(self) -> float:
-        """Per-model GEMM throughput (bigger layers run closer to peak)."""
+    def _gemm_efficiency(self) -> float:
+        """Per-model GEMM efficiency (bigger layers run closer to peak)."""
         img_flops = model_forward_flops(self.model, 1)
         ratio = img_flops / self.device.gemm_ref_image_flops
         lo, hi = self.device.gemm_eff_bounds
-        eff = min(max(ratio**self.device.gemm_scaling_exp, lo), hi)
-        return self.device.gemm_flops * eff
+        return min(max(ratio**self.device.gemm_scaling_exp, lo), hi)
 
-    def forward_time(self) -> float:
-        return model_forward_flops(self.model, self.local_batch) / self.effective_gemm_flops()
+    def effective_gemm_flops(self, precision: str = "fp32") -> float:
+        """Effective GEMM throughput at the given compute precision.
 
-    def backward_time(self) -> float:
-        return model_backward_flops(self.model, self.local_batch) / self.effective_gemm_flops()
+        fp16/bf16 run on the Tensor-Core rate (``tensorcore_flops``; fp32
+        rate if the device has none), fp64 at ``fp64_flops_scale`` of the
+        fp32 rate — each modulated by the same per-model efficiency.
+        """
+        _check_precision(precision)
+        peak = self.device.gemm_flops
+        if precision in ("fp16", "bf16") and self.device.tensorcore_flops > 0:
+            peak = self.device.tensorcore_flops
+        elif precision == "fp64":
+            peak = peak * self.device.fp64_flops_scale
+        return peak * self._gemm_efficiency()
 
-    def grad_exchange_time(self, p: int) -> float:
-        """Straggler-inflated fused ring allreduce of all gradients."""
+    def comm_itemsize(self, precision: str = "fp32") -> int:
+        """Wire bytes per element of the compressed collectives."""
+        return _COMM_ITEMSIZE[_check_precision(precision)]
+
+    def forward_time(self, precision: str = "fp32") -> float:
+        return model_forward_flops(self.model, self.local_batch) / self.effective_gemm_flops(
+            precision
+        )
+
+    def backward_time(self, precision: str = "fp32") -> float:
+        return model_backward_flops(self.model, self.local_batch) / self.effective_gemm_flops(
+            precision
+        )
+
+    def grad_exchange_time(self, p: int, precision: str = "fp32") -> float:
+        """Straggler-inflated fused ring allreduce of all gradients.
+
+        Under a half policy the wire carries the fp16/bf16 codec payload
+        — half the bytes of the fp32 exchange.
+        """
         if p <= 1:
             return 0.0
-        base = allreduce_time(self.model.grad_bytes, p, self.cluster.net)
+        nbytes = self.model.grad_payload_bytes(self.comm_itemsize(precision))
+        base = allreduce_time(nbytes, p, self.cluster.net)
         return base * self.cluster.sync_penalty(p)
 
-    def sgd_iteration_time(self, p: int) -> float:
+    def sgd_iteration_time(self, p: int, precision: str = "fp32") -> float:
         return (
-            self.forward_time()
-            + self.backward_time()
+            self.forward_time(precision)
+            + self.backward_time(precision)
             + self.device.per_iter_overhead
-            + self.grad_exchange_time(p)
+            + self.grad_exchange_time(p, precision)
         )
 
     # ------------------------------------------------------------------
     # K-FAC factor stage
     # ------------------------------------------------------------------
-    def factor_compute_time(self, syrk: bool = False) -> float:
+    def factor_compute_time(self, syrk: bool = False, precision: str = "fp32") -> float:
         """Factor-computation time — constant in P (Table V ``Tcomp``,
         the Fig. 10 quantity).
 
@@ -175,9 +217,13 @@ class IterationModel:
         ``syrk`` models the rank-k fast path, which writes only one
         triangle of each factor (the patch-read term, which dominates,
         is unchanged — hence the modest Tcomp gain the stage shows).
+        The stage is bandwidth-bound, so half-precision patches
+        (``precision="fp16"``/``"bf16"``) halve the traffic term.
         """
+        itemsize = _COMPUTE_ITEMSIZE[_check_precision(precision)]
         traffic = (
             factor_stage_bytes(self.model, self.local_batch, syrk)
+            * (itemsize / 4.0)
             / self.device.factor_bandwidth
         )
         overhead = self.device.factor_layer_coef * float(self.n_layers) ** self.device.factor_layer_exp
@@ -192,11 +238,20 @@ class IterationModel:
         """
         return self.device.factor_capture_coef * float(self.n_layers) ** 2
 
-    def factor_comm_payload_bytes(self, packed: bool = False) -> int:
-        """Per-worker factor-allreduce wire payload (full or tri-packed)."""
-        return self.model.factor_packed_bytes if packed else self.model.factor_bytes
+    def factor_comm_payload_bytes(
+        self, packed: bool = False, precision: str = "fp32"
+    ) -> int:
+        """Per-worker factor-allreduce wire payload.
 
-    def factor_comm_time(self, p: int, packed: bool = False) -> float:
+        ``packed`` applies triangular packing (~0.5x); a half-precision
+        ``precision`` applies the wire codec (another 0.5x) — combined,
+        ~0.25x the dense fp32 payload.
+        """
+        return self.model.factor_payload_bytes(packed, self.comm_itemsize(precision))
+
+    def factor_comm_time(
+        self, p: int, packed: bool = False, precision: str = "fp32"
+    ) -> float:
         """Allreduce of all running-average factors (one op per factor).
 
         Rare and bandwidth-dominated — empirically flat in P (Table V), so
@@ -205,15 +260,19 @@ class IterationModel:
         """
         if p <= 1:
             return 0.0
-        base = allreduce_time(self.factor_comm_payload_bytes(packed), p, self.cluster.net)
+        base = allreduce_time(
+            self.factor_comm_payload_bytes(packed, precision), p, self.cluster.net
+        )
         return base + self.cluster.op_launch * self.model.n_factors
 
-    def factor_stage_time(self, p: int, symmetric: bool = False) -> float:
+    def factor_stage_time(
+        self, p: int, symmetric: bool = False, precision: str = "fp32"
+    ) -> float:
         """Full factor-update cost: compute + capture overhead + comm."""
         return (
-            self.factor_compute_time(syrk=symmetric)
+            self.factor_compute_time(syrk=symmetric, precision=precision)
             + self.factor_capture_overhead()
-            + self.factor_comm_time(p, packed=symmetric)
+            + self.factor_comm_time(p, packed=symmetric, precision=precision)
         )
 
     # ------------------------------------------------------------------
@@ -267,12 +326,18 @@ class IterationModel:
     # pipelined (async) communication: exposed vs. hidden
     # ------------------------------------------------------------------
     def pipeline_chunks(
-        self, bucket_bytes: int = DEFAULT_BUCKET_BYTES, packed: bool = False
+        self,
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+        packed: bool = False,
+        precision: str = "fp32",
     ) -> int:
         """Number of pipeline chunks the factor exchange splits into."""
         if bucket_bytes <= 0:
             raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
-        return max(1, math.ceil(self.factor_comm_payload_bytes(packed) / bucket_bytes))
+        return max(
+            1,
+            math.ceil(self.factor_comm_payload_bytes(packed, precision) / bucket_bytes),
+        )
 
     def pipelined_comm_times(
         self,
@@ -280,6 +345,7 @@ class IterationModel:
         policy: str = "round_robin",
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         symmetric: bool = False,
+        precision: str = "fp32",
     ) -> tuple[float, float]:
         """(exposed factor comm, exposed eig comm) under SPD-KFAC pipelining.
 
@@ -305,19 +371,25 @@ class IterationModel:
         """
         if p <= 1:
             return 0.0, 0.0
-        fac_total = self.factor_comm_time(p, packed=symmetric)
+        fac_total = self.factor_comm_time(p, packed=symmetric, precision=precision)
         eig_total = self.eig_comm_time(p)
-        n = self.pipeline_chunks(bucket_bytes, packed=symmetric)
+        n = self.pipeline_chunks(bucket_bytes, packed=symmetric, precision=precision)
         min_worker_eig = min(self.eig_worker_times(p, "comm-opt", policy))
 
         fac_budget = (
-            self.backward_time() + self.factor_compute_time(syrk=symmetric) + min_worker_eig
+            self.backward_time(precision)
+            + self.factor_compute_time(syrk=symmetric, precision=precision)
+            + min_worker_eig
         )
         fac_exposed = fac_total / n  # leading chunk
         hideable = fac_total - fac_exposed
         fac_exposed += max(0.0, hideable - fac_budget)
 
-        eig_budget = self.precondition_time_all() + self.forward_time() + self.backward_time()
+        eig_budget = (
+            self.precondition_time_all()
+            + self.forward_time(precision)
+            + self.backward_time(precision)
+        )
         eig_exposed = eig_total / n  # trailing chunk
         hideable = eig_total - eig_exposed
         eig_exposed += max(0.0, hideable - eig_budget)
@@ -388,6 +460,7 @@ class IterationModel:
         pipelined: bool = False,
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         symmetric: bool = False,
+        precision: str = "fp32",
     ) -> float:
         """Average per-iteration time including amortized K-FAC stages.
 
@@ -396,25 +469,29 @@ class IterationModel:
         critical path; the hidden remainder overlaps eigendecompositions.
         ``symmetric=True`` applies the syrk compute and triangular-packed
         communication rates of the symmetry-aware fast path.
+        ``precision`` applies the mixed-precision rates: Tensor-Core
+        forward/backward, half-width patch traffic, and codec-compressed
+        gradient/factor wire bytes (eig exchange stays fp32 per the
+        precision policy).
         """
-        base = self.sgd_iteration_time(p)
+        base = self.sgd_iteration_time(p, precision)
         if strategy == "comm-opt":
             if pipelined:
                 fac_comm, eig_comm = self.pipelined_comm_times(
-                    p, policy, bucket_bytes, symmetric
+                    p, policy, bucket_bytes, symmetric, precision
                 )
             else:
-                fac_comm = self.factor_comm_time(p, packed=symmetric)
+                fac_comm = self.factor_comm_time(p, packed=symmetric, precision=precision)
                 eig_comm = self.eig_comm_time(p)
             per_fac = (
-                self.factor_compute_time(syrk=symmetric)
+                self.factor_compute_time(syrk=symmetric, precision=precision)
                 + self.factor_capture_overhead()
                 + fac_comm
             )
             per_eig = self.eig_stage_time(p, strategy, policy) + eig_comm
             per_iter = self.precondition_time_all()
         elif strategy == "layer-wise":
-            per_fac = self.factor_stage_time(p, symmetric=symmetric)
+            per_fac = self.factor_stage_time(p, symmetric=symmetric, precision=precision)
             per_eig = self.eig_stage_time(p, strategy)
             per_iter = self.precondition_time_layer_wise(p) + self.precond_gather_time(p)
         else:
@@ -437,17 +514,20 @@ class IterationModel:
         dataset_size: int,
         intervals: KfacIntervals | None = None,
         policy: str = "round_robin",
+        precision: str = "fp32",
     ) -> float:
         """Seconds per epoch for ``optimizer`` in {"sgd","kfac-opt","kfac-lw"}."""
         iters = self.iterations_per_epoch(p, dataset_size)
         if optimizer == "sgd":
-            return iters * self.sgd_iteration_time(p)
+            return iters * self.sgd_iteration_time(p, precision)
         if intervals is None:
             raise ValueError("K-FAC epoch time requires update intervals")
         strategy = {"kfac-opt": "comm-opt", "kfac-lw": "layer-wise"}.get(optimizer)
         if strategy is None:
             raise ValueError(f"unknown optimizer {optimizer!r}")
-        return iters * self.kfac_iteration_time(p, strategy, intervals, policy)
+        return iters * self.kfac_iteration_time(
+            p, strategy, intervals, policy, precision=precision
+        )
 
     # ------------------------------------------------------------------
     # Table V profile
@@ -459,6 +539,7 @@ class IterationModel:
         pipelined: bool = False,
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         symmetric: bool = False,
+        precision: str = "fp32",
     ) -> StageProfile:
         """Per-update-step stage profile (the paper's Table V row).
 
@@ -468,22 +549,26 @@ class IterationModel:
         the exposed-communication fields reflect the async engine's
         overlap; otherwise they equal the synchronous costs.  With
         ``symmetric=True`` the profile uses the syrk compute rate and the
-        triangular-packed allreduce payload.
+        triangular-packed allreduce payload.  ``precision="fp16"`` applies
+        the mixed-precision rates (half-width patch traffic, compressed
+        factor wire); the eigendecomposition stage stays fp32 by policy.
         """
-        fac_comm = self.factor_comm_time(p, packed=symmetric)
+        fac_comm = self.factor_comm_time(p, packed=symmetric, precision=precision)
         eig_comm = self.eig_comm_time(p)
         if pipelined:
             fac_exposed, eig_exposed = self.pipelined_comm_times(
-                p, policy, bucket_bytes, symmetric
+                p, policy, bucket_bytes, symmetric, precision
             )
         else:
             fac_exposed, eig_exposed = fac_comm, eig_comm
         return StageProfile(
-            factor_tcomp=self.factor_compute_time(syrk=symmetric),
+            factor_tcomp=self.factor_compute_time(syrk=symmetric, precision=precision),
             factor_tcomm=fac_comm,
             eig_tcomp=self.eig_stage_time(p, "comm-opt", policy),
             eig_tcomm=eig_comm,
             factor_tcomm_exposed=fac_exposed,
             eig_tcomm_exposed=eig_exposed,
-            factor_comm_payload_bytes=float(self.factor_comm_payload_bytes(symmetric)),
+            factor_comm_payload_bytes=float(
+                self.factor_comm_payload_bytes(symmetric, precision)
+            ),
         )

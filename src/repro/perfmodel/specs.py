@@ -64,12 +64,19 @@ class ModelSpec:
     @property
     def grad_bytes(self) -> int:
         """FP32 gradient payload exchanged every iteration."""
-        return 4 * self.total_params
+        return self.grad_payload_bytes()
+
+    def grad_payload_bytes(self, itemsize: int = 4) -> int:
+        """Gradient wire payload at the given transport itemsize.
+
+        ``itemsize=2`` models the fp16/bf16 compressed gradient exchange.
+        """
+        return itemsize * self.total_params
 
     @property
     def factor_bytes(self) -> int:
         """FP32 payload of all Kronecker factors (A and G), full matrices."""
-        return 4 * sum(l.a_dim**2 + l.g_dim**2 for l in self.kfac_layers)
+        return self.factor_payload_bytes()
 
     @property
     def factor_packed_bytes(self) -> int:
@@ -78,9 +85,20 @@ class ModelSpec:
         Each symmetric ``d x d`` factor ships as its ``d*(d+1)/2``-element
         upper triangle (the ``KFAC(symmetric_comm=True)`` wire format).
         """
-        return 4 * sum(
-            tri_len(l.a_dim) + tri_len(l.g_dim) for l in self.kfac_layers
-        )
+        return self.factor_payload_bytes(packed=True)
+
+    def factor_payload_bytes(self, packed: bool = False, itemsize: int = 4) -> int:
+        """Factor wire payload: full or tri-packed, at a transport itemsize.
+
+        ``packed=True, itemsize=2`` is the fully-compressed exchange
+        (triangular packing x half-precision codec): ~0.25x the dense
+        fp32 bytes.
+        """
+        if packed:
+            elements = sum(tri_len(l.a_dim) + tri_len(l.g_dim) for l in self.kfac_layers)
+        else:
+            elements = sum(l.a_dim**2 + l.g_dim**2 for l in self.kfac_layers)
+        return itemsize * elements
 
     @property
     def eig_bytes(self) -> int:

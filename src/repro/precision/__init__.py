@@ -1,0 +1,27 @@
+"""Mixed-precision subsystem: policies, loss scaling, master weights.
+
+Ties together the three precision axes of the stack:
+
+- **compute** — :class:`PrecisionPolicy` + the fp32-accumulating cast
+  helpers in :mod:`repro.tensor.amp` (forward/backward GEMMs and im2col
+  in fp16/bf16, everything else in the storage dtype);
+- **numerics** — :class:`GradScaler` dynamic loss scaling with
+  skip-step-and-rescale, and :class:`MasterWeightOptimizer` fp32 masters
+  over fp16 working copies;
+- **transport** — the wire codecs in :mod:`repro.comm.compression`
+  (fp16/bf16 payloads, fp32 reduction accumulators, error feedback),
+  selected per policy and threaded through the trainer and
+  ``KFAC(comm_dtype=...)``.
+"""
+
+from repro.precision.master import MasterWeightOptimizer
+from repro.precision.policy import POLICIES, PrecisionPolicy, resolve_policy
+from repro.precision.scaler import GradScaler
+
+__all__ = [
+    "GradScaler",
+    "MasterWeightOptimizer",
+    "POLICIES",
+    "PrecisionPolicy",
+    "resolve_policy",
+]

@@ -1,0 +1,92 @@
+"""Master-weight management: fp32 masters driving low-precision workers.
+
+The second half of the mixed-precision recipe: when the *model* itself is
+stored in fp16 (``model.cast_(np.float16)`` working copies — half the
+parameter memory and wire bytes), the optimizer must not update in fp16,
+because a converged update step (``lr * grad``) is routinely smaller than
+the fp16 resolution at the weight's magnitude and would round to zero.
+
+:class:`MasterWeightOptimizer` keeps an fp32 master copy of every working
+parameter and runs the wrapped optimizer (SGD/LARS/Adam — anything built
+on :class:`repro.optim.base.Optimizer`) on the masters:
+
+1. working gradients are upcast into the master ``.grad`` slots;
+2. the inner optimizer steps in fp32 (momentum/moment state in fp32);
+3. the updated masters are rounded back into the working parameters.
+
+Small updates therefore *accumulate* in the masters even when each
+individual rounded working-copy step would be invisible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.base import Optimizer
+
+__all__ = ["MasterWeightOptimizer"]
+
+
+class MasterWeightOptimizer:
+    """Wrap an optimizer factory with fp32 master copies of the params."""
+
+    def __init__(
+        self,
+        optimizer_factory: Callable[[Sequence[Parameter]], Optimizer],
+        params: Iterable[Parameter],
+        master_dtype: "np.dtype | str" = np.float32,
+    ) -> None:
+        self.working_params: list[Parameter] = list(params)
+        if not self.working_params:
+            raise ValueError("MasterWeightOptimizer requires parameters")
+        dt = np.dtype(master_dtype)
+        self.master_params = [
+            Parameter(p.data.astype(dt), name=p.name) for p in self.working_params
+        ]
+        self.optimizer = optimizer_factory(self.master_params)
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+    @lr.setter
+    def lr(self, value: float) -> None:
+        self.optimizer.lr = value
+
+    def zero_grad(self) -> None:
+        for p in self.working_params:
+            p.zero_grad()
+        self.optimizer.zero_grad()
+
+    def step(self) -> None:
+        """Upcast grads, step the masters in fp32, round back the workers."""
+        for mp, wp in zip(self.master_params, self.working_params):
+            mp.grad[...] = wp.grad.astype(mp.grad.dtype)
+        self.optimizer.step()
+        with np.errstate(over="ignore"):
+            for mp, wp in zip(self.master_params, self.working_params):
+                wp.data[...] = mp.data.astype(wp.data.dtype)
+
+    def state_dict(self) -> dict:
+        return {
+            "masters": [p.data.copy() for p in self.master_params],
+            "optimizer": self.optimizer.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        masters = state["masters"]
+        if len(masters) != len(self.master_params):
+            raise ValueError(
+                f"checkpoint has {len(masters)} masters for "
+                f"{len(self.master_params)} parameters"
+            )
+        with np.errstate(over="ignore"):
+            for mp, wp, saved in zip(
+                self.master_params, self.working_params, masters
+            ):
+                mp.data[...] = saved
+                wp.data[...] = saved.astype(wp.data.dtype)
+        self.optimizer.load_state_dict(state["optimizer"])

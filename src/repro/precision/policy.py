@@ -1,0 +1,108 @@
+"""Precision policies: which dtype each tensor class lives and computes in.
+
+A :class:`PrecisionPolicy` is the single switch that configures the whole
+mixed-precision recipe of Osawa et al. (arXiv:1811.12019) for this stack:
+
+=================  =========  =========  =========  =========
+tensor class       fp32       fp16       bf16       fp64
+=================  =========  =========  =========  =========
+params (master)    fp32       fp32       fp32       fp64*
+grads              fp32       fp32       fp32       fp64*
+activations        fp32       fp32       fp32       fp64*
+factors/eigenbasis fp32       fp32       fp32       fp64*
+GEMMs + im2col     fp32       fp16       bf16       fp64
+wire (grad+factor) as stored  fp16       bf16       as stored
+loss scaling       off        on         off        off
+=================  =========  =========  =========  =========
+
+(*) storage follows ``REPRO_DEFAULT_DTYPE``; the fp64 policy only forces
+the compute dtype up.
+
+The half policies are *AMP* recipes: storage stays fp32 (master weights),
+compute runs through the fp32-accumulating cast helpers in
+:mod:`repro.tensor.amp`, and the wire carries codec-compressed payloads
+(:mod:`repro.comm.compression`).  fp16 also enables dynamic loss scaling
+(:class:`repro.precision.GradScaler`); bf16 shares fp32's exponent range
+and does not need it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.tensor.amp import autocast as _amp_autocast
+
+__all__ = ["PrecisionPolicy", "POLICIES", "resolve_policy"]
+
+_ALIASES = {
+    "fp16-amp": "fp16",
+    "bf16-amp": "bf16",
+    "float16": "fp16",
+    "bfloat16": "bf16",
+    "float32": "fp32",
+    "float64": "fp64",
+    "amp": "fp16",
+}
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Per-tensor-class precision rules for one training run.
+
+    Attributes
+    ----------
+    name:
+        ``"fp32"`` / ``"fp16"`` / ``"bf16"`` / ``"fp64"``.
+    compute_dtype:
+        Dtype of forward/backward GEMMs and the im2col lowering
+        (``None`` = storage dtype, no autocast).
+    comm_dtype:
+        Wire codec for gradient and factor collectives (``None`` =
+        dtype-preserving transport).
+    loss_scaling:
+        Whether :class:`repro.precision.GradScaler` should be armed.
+    """
+
+    name: str
+    compute_dtype: str | None = None
+    comm_dtype: str | None = None
+    loss_scaling: bool = False
+
+    @contextmanager
+    def autocast(self) -> Iterator[None]:
+        """Install this policy's compute dtype for the enclosed block."""
+        with _amp_autocast(self.compute_dtype):
+            yield
+
+    @property
+    def is_amp(self) -> bool:
+        """True for the half-precision (fp16/bf16) recipes."""
+        return self.compute_dtype in ("float16", "bfloat16")
+
+
+POLICIES: dict[str, PrecisionPolicy] = {
+    "fp32": PrecisionPolicy(name="fp32"),
+    "fp16": PrecisionPolicy(
+        name="fp16", compute_dtype="float16", comm_dtype="fp16", loss_scaling=True
+    ),
+    "bf16": PrecisionPolicy(
+        name="bf16", compute_dtype="bfloat16", comm_dtype="bf16", loss_scaling=False
+    ),
+    "fp64": PrecisionPolicy(name="fp64", compute_dtype="float64"),
+}
+
+
+def resolve_policy(policy: "PrecisionPolicy | str | None") -> PrecisionPolicy:
+    """Resolve a policy object, name, or alias (``None`` -> fp32)."""
+    if policy is None:
+        return POLICIES["fp32"]
+    if isinstance(policy, PrecisionPolicy):
+        return policy
+    name = _ALIASES.get(policy, policy)
+    if name not in POLICIES:
+        raise ValueError(
+            f"unknown precision policy {policy!r}; choose from {sorted(POLICIES)}"
+        )
+    return POLICIES[name]

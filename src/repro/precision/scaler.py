@@ -1,0 +1,121 @@
+"""Dynamic loss scaling for fp16 training.
+
+fp16 gradients underflow: most of a converged ResNet's gradient mass sits
+below ``2^-24``.  The standard fix (Micikevicius et al., mixed-precision
+training) multiplies the loss — equivalently its backward seed — by a
+large scale so the backward pass computes scaled gradients that survive
+half precision, then divides them back out before the optimizer step.
+
+The scale is adapted dynamically with the skip-step-and-rescale protocol:
+
+- after unscaling, if any gradient is non-finite, the whole update
+  (K-FAC preconditioning *and* optimizer step) is **skipped** and the
+  scale is multiplied by ``backoff_factor``;
+- after ``growth_interval`` consecutive good steps the scale is
+  multiplied by ``growth_factor``, probing for the largest safe value.
+
+All replicas must share one scaler (or identical state): the overflow
+decision is taken on allreduced gradients, which are bit-identical across
+ranks, so every worker skips — or steps — in lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["GradScaler"]
+
+
+class GradScaler:
+    """PyTorch-flavoured dynamic loss scaler for the NumPy stack."""
+
+    def __init__(
+        self,
+        init_scale: float = 2.0**16,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 200,
+        min_scale: float = 2.0**-14,
+        enabled: bool = True,
+    ) -> None:
+        if init_scale <= 0:
+            raise ValueError(f"init_scale must be positive, got {init_scale}")
+        if growth_factor <= 1.0:
+            raise ValueError(f"growth_factor must be > 1, got {growth_factor}")
+        if not 0.0 < backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be in (0, 1), got {backoff_factor}")
+        if growth_interval < 1:
+            raise ValueError(f"growth_interval must be >= 1, got {growth_interval}")
+        self.growth_factor = growth_factor
+        self.backoff_factor = backoff_factor
+        self.growth_interval = growth_interval
+        self.min_scale = min_scale
+        self.enabled = enabled
+        self._scale = float(init_scale)
+        self._growth_tracker = 0
+        #: successful updates / skipped (overflowed) updates so far
+        self.steps_taken = 0
+        self.steps_skipped = 0
+
+    @property
+    def scale(self) -> float:
+        """The current loss scale (1.0 when disabled)."""
+        return self._scale if self.enabled else 1.0
+
+    def scale_grad(self, grad: np.ndarray) -> np.ndarray:
+        """Scale a backward seed (the loss gradient) by the current scale."""
+        if not self.enabled:
+            return grad
+        return grad * grad.dtype.type(self._scale)
+
+    def unscale_(self, grads: Iterable[np.ndarray]) -> bool:
+        """Divide gradients by the scale in place; report non-finite values.
+
+        Returns True when any gradient contains inf/NaN — the caller must
+        then skip the update and call :meth:`update(found_inf=True)`.
+        """
+        found = False
+        inv = 1.0 / self.scale
+        for g in grads:
+            if self.enabled:
+                g *= g.dtype.type(inv)
+            if not found and not np.isfinite(g).all():
+                found = True
+        return found
+
+    def update(self, found_inf: bool) -> None:
+        """Adapt the scale after one iteration's overflow verdict."""
+        if not self.enabled:
+            return
+        if found_inf:
+            self._scale = max(self._scale * self.backoff_factor, self.min_scale)
+            self._growth_tracker = 0
+            self.steps_skipped += 1
+        else:
+            self.steps_taken += 1
+            self._growth_tracker += 1
+            if self._growth_tracker >= self.growth_interval:
+                self._scale *= self.growth_factor
+                self._growth_tracker = 0
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot (checkpoint alongside the optimizer)."""
+        return {
+            "scale": self._scale,
+            "growth_tracker": self._growth_tracker,
+            "steps_taken": self.steps_taken,
+            "steps_skipped": self.steps_skipped,
+            "enabled": self.enabled,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._scale = float(state["scale"])
+        self._growth_tracker = int(state["growth_tracker"])
+        self.steps_taken = int(state["steps_taken"])
+        self.steps_skipped = int(state["steps_skipped"])
+        self.enabled = bool(state["enabled"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GradScaler(scale={self._scale:g}, enabled={self.enabled})"

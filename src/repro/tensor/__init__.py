@@ -1,11 +1,23 @@
 """Low-level numerical kernels for the numpy neural-network framework.
 
-All kernels operate on NCHW ``float32`` arrays (the paper trains in FP32)
-and are fully vectorized: convolution is im2col + GEMM, which both gives
-BLAS-level throughput and produces exactly the patch matrices the K-FAC
-``A`` factors are built from (Grosse & Martens' KFC formulation).
+All kernels operate on NCHW arrays in the storage dtype (``float32`` by
+default — the paper trains in FP32; ``REPRO_DEFAULT_DTYPE=float64``
+switches the whole stack to double) and are fully vectorized: convolution
+is im2col + GEMM, which both gives BLAS-level throughput and produces
+exactly the patch matrices the K-FAC ``A`` factors are built from (Grosse
+& Martens' KFC formulation).  :mod:`repro.tensor.amp` layers the
+fp16/bf16 *compute* precision (fp32-accumulating cast helpers) on top.
 """
 
+from repro.tensor.amp import (
+    amp_matmul,
+    autocast,
+    cast_compute_storage,
+    get_compute_dtype,
+    quantize_bf16,
+    set_compute_dtype,
+)
+from repro.tensor.dtypes import DEFAULT_DTYPE, resolve_default_dtype
 from repro.tensor.gram import gram, has_syrk, mirror_upper
 from repro.tensor.im2col import col2im, conv_out_size, im2col
 from repro.tensor.initializers import (
@@ -16,10 +28,15 @@ from repro.tensor.initializers import (
 )
 from repro.tensor.workspace import Workspace, default_workspace
 
-DEFAULT_DTYPE = "float32"
-
 __all__ = [
     "DEFAULT_DTYPE",
+    "resolve_default_dtype",
+    "amp_matmul",
+    "autocast",
+    "cast_compute_storage",
+    "get_compute_dtype",
+    "quantize_bf16",
+    "set_compute_dtype",
     "im2col",
     "col2im",
     "conv_out_size",

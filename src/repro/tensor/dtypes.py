@@ -1,0 +1,36 @@
+"""Process-wide default dtype resolution.
+
+The stack trains in FP32 by default (the paper's precision), but every
+dtype-preservation guarantee added since PR 1 (comm packing, triangular
+factors, workspace pooling) is supposed to hold at FP64 too.  Setting
+``REPRO_DEFAULT_DTYPE=float64`` switches the *storage* default — weight
+initializers, BatchNorm parameters — so the whole test suite can run in
+double precision and keep those guarantees honest (CI runs exactly that
+job).  Compute-precision overrides (fp16/bf16 autocast) are a separate,
+orthogonal axis: see :mod:`repro.tensor.amp`.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["DEFAULT_DTYPE", "resolve_default_dtype"]
+
+_ALLOWED = ("float32", "float64")
+
+
+def resolve_default_dtype() -> str:
+    """The storage dtype from ``REPRO_DEFAULT_DTYPE`` (default ``float32``)."""
+    value = os.environ.get("REPRO_DEFAULT_DTYPE", "float32")
+    if value not in _ALLOWED:
+        raise ValueError(
+            f"REPRO_DEFAULT_DTYPE must be one of {_ALLOWED}, got {value!r} "
+            "(half precisions are compute/transport dtypes — use a "
+            "PrecisionPolicy, not the storage default)"
+        )
+    return value
+
+
+#: resolved once at import; tests monkeypatching the environment should
+#: call :func:`resolve_default_dtype` directly.
+DEFAULT_DTYPE = resolve_default_dtype()

@@ -11,6 +11,8 @@ import math
 
 import numpy as np
 
+from repro.tensor.dtypes import DEFAULT_DTYPE
+
 __all__ = ["kaiming_normal", "kaiming_uniform", "xavier_uniform", "zeros_init"]
 
 
@@ -31,7 +33,7 @@ def kaiming_normal(
     rng: np.random.Generator,
     mode: str = "fan_out",
     nonlinearity_gain: float = math.sqrt(2.0),
-    dtype: str = "float32",
+    dtype: str = DEFAULT_DTYPE,
 ) -> np.ndarray:
     """He-normal initialization: ``N(0, gain^2 / fan)``."""
     fan_in, fan_out = _fans(shape)
@@ -44,7 +46,7 @@ def kaiming_uniform(
     shape: tuple[int, ...],
     rng: np.random.Generator,
     a: float = math.sqrt(5.0),
-    dtype: str = "float32",
+    dtype: str = DEFAULT_DTYPE,
 ) -> np.ndarray:
     """He-uniform with leaky-relu slope ``a`` (PyTorch's Linear default)."""
     fan_in, _ = _fans(shape)
@@ -57,7 +59,7 @@ def xavier_uniform(
     shape: tuple[int, ...],
     rng: np.random.Generator,
     gain: float = 1.0,
-    dtype: str = "float32",
+    dtype: str = DEFAULT_DTYPE,
 ) -> np.ndarray:
     """Glorot-uniform initialization."""
     fan_in, fan_out = _fans(shape)
@@ -65,6 +67,6 @@ def xavier_uniform(
     return rng.uniform(-bound, bound, size=shape).astype(dtype)
 
 
-def zeros_init(shape: tuple[int, ...], dtype: str = "float32") -> np.ndarray:
+def zeros_init(shape: tuple[int, ...], dtype: str = DEFAULT_DTYPE) -> np.ndarray:
     """All-zeros array (bias default)."""
     return np.zeros(shape, dtype=dtype)

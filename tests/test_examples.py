@@ -28,6 +28,13 @@ class TestExamples:
         out = run_example("quickstart.py", "--workers", "2", "--steps", "6")
         assert "replica parameters stayed in sync" in out
 
+    def test_quickstart_fp16(self):
+        out = run_example(
+            "quickstart.py", "--workers", "2", "--steps", "6", "--precision", "fp16"
+        )
+        assert "replica parameters stayed in sync" in out
+        assert "loss scale" in out
+
     def test_imagenet_scaling_study(self):
         out = run_example("imagenet_scaling_study.py", "--depths", "50")
         assert "ResNet-50 time-to-solution" in out

@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro.comm.handles import DeferredHandle, ImmediateHandle
+from repro.tensor.dtypes import DEFAULT_DTYPE
 from repro.tensor.initializers import kaiming_normal, kaiming_uniform, xavier_uniform, zeros_init
 from repro.utils.logging import NULL_LOGGER, Logger
 
@@ -50,7 +51,7 @@ class TestInitializers:
         w = kaiming_normal((256, 128, 3, 3), rng)
         expect = np.sqrt(2.0 / (256 * 9))
         assert w.std() == pytest.approx(expect, rel=0.05)
-        assert w.dtype == np.float32
+        assert w.dtype == np.dtype(DEFAULT_DTYPE)
 
     def test_kaiming_uniform_bounds(self, rng):
         w = kaiming_uniform((64, 100), rng)
@@ -65,7 +66,7 @@ class TestInitializers:
 
     def test_zeros(self):
         w = zeros_init((3, 3))
-        assert not w.any() and w.dtype == np.float32
+        assert not w.any() and w.dtype == np.dtype(DEFAULT_DTYPE)
 
     def test_unsupported_shape(self, rng):
         with pytest.raises(ValueError):

@@ -140,6 +140,79 @@ class TestLARS:
         np.testing.assert_allclose(p.data, [-0.1])
 
 
+def _quadratic_steps(opt_cls, params, state=None, n=5, seed=0, **kwargs):
+    """Run ``n`` steps of ``opt`` on a fixed gradient stream; return opt."""
+    opt = opt_cls(params, **kwargs)
+    if state is not None:
+        opt.load_state_dict(state)
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        for p in params:
+            p.grad[...] = rng.normal(size=p.data.shape)
+        opt.step()
+    return opt
+
+
+class TestOptimizerCheckpointBitEquivalence:
+    """state_dict round trips resume bit-identically (mirrors the KFAC
+    checkpoint test): train, snapshot, train on; restore into a fresh
+    optimizer and replay — parameters and internal buffers must match
+    exactly, momentum/moment state included."""
+
+    @pytest.mark.parametrize(
+        "opt_cls,kwargs",
+        [
+            (SGD, dict(lr=0.05, momentum=0.9, weight_decay=1e-4)),
+            (LARS, dict(lr=0.05, momentum=0.9, weight_decay=1e-4)),
+            (Adam, dict(lr=1e-3, weight_decay=1e-4)),
+        ],
+    )
+    def test_resume_bit_identical(self, opt_cls, kwargs):
+        rng = np.random.default_rng(7)
+        init = [rng.normal(size=(4, 3)), rng.normal(size=(6,))]
+        params_a = [Parameter(v.copy()) for v in init]
+        opt_a = _quadratic_steps(opt_cls, params_a, n=4, seed=1, **kwargs)
+        snapshot = opt_a.state_dict()
+        data_at_snapshot = [p.data.copy() for p in params_a]
+        # continue the original run
+        rng2 = np.random.default_rng(2)
+        for _ in range(3):
+            for p in params_a:
+                p.grad[...] = rng2.normal(size=p.data.shape)
+            opt_a.step()
+
+        # restore into a fresh optimizer over params reset to the snapshot
+        params_b = [Parameter(v.copy()) for v in data_at_snapshot]
+        opt_b = opt_cls(params_b, **kwargs)
+        opt_b.load_state_dict(snapshot)
+        rng3 = np.random.default_rng(2)
+        for _ in range(3):
+            for p in params_b:
+                p.grad[...] = rng3.normal(size=p.data.shape)
+            opt_b.step()
+
+        for pa, pb in zip(params_a, params_b):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_lars_state_dict_contains_momentum_buffers(self):
+        p = make_param([1.0, -2.0])
+        opt = _quadratic_steps(LARS, [p], n=2, lr=0.1, momentum=0.9)
+        state = opt.state_dict()
+        assert len(state["buffers"]) == 1
+        assert state["buffers"][0].shape == (2,)
+        assert np.any(state["buffers"][0] != 0.0)
+        # snapshot is a copy, not a view of live state
+        state["buffers"][0][...] = 123.0
+        assert not np.any(opt._buffers[0] == 123.0)
+
+    def test_adam_state_dict_contains_moments(self):
+        p = make_param([1.0, -2.0])
+        opt = _quadratic_steps(Adam, [p], n=2, lr=1e-3)
+        state = opt.state_dict()
+        assert state["t"] == 2
+        assert np.any(state["m"][0] != 0.0) and np.any(state["v"][0] != 0.0)
+
+
 class TestSchedules:
     def test_constant(self):
         assert ConstantSchedule(0.1)(5.0) == 0.1
