@@ -1,8 +1,24 @@
-"""Ablation (§VI-C4 future work): round-robin vs size-balanced placement."""
+"""Ablation (§VI-C4 future work + KAISA): placement policies and fractions.
 
-from repro.experiments.ablations import run_placement_ablation
+Two placement spectra over the same factor set:
+
+- round-robin vs size-balanced (greedy LPT) assignment of factors to
+  workers (the paper's §VI-C4 proposal);
+- the KAISA-style ``grad_worker_frac`` sweep between LAYER_WISE
+  (``f = 1/P``) and COMM_OPT (``f = 1``): per-rank eigenbasis memory must
+  fall and second-stage communication must rise, strictly, as ``f``
+  decreases — and the endpoints must reproduce the existing strategies,
+  both in the performance model and (bit-for-bit) in real trajectories.
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import (
+    run_grad_worker_frac_sweep,
+    run_placement_ablation,
+)
 from repro.perfmodel.hardware import FRONTERA_LIKE, V100_LIKE
-from repro.perfmodel.iteration import IterationModel
+from repro.perfmodel.iteration import IterationModel, KfacIntervals
 from repro.perfmodel.specs import resnet_spec
 
 from conftest import run_and_print
@@ -19,3 +35,52 @@ def test_placement_policy_ablation(benchmark):
     assert im.eig_stage_time(16, "comm-opt", "greedy") < im.eig_stage_time(
         16, "comm-opt", "round_robin"
     )
+
+
+def test_grad_worker_frac_pareto_frontier(benchmark):
+    """The modeled memory/comm trade is monotone in f at P=64 (ResNet-50)."""
+    result = run_and_print(benchmark, run_grad_worker_frac_sweep)
+    rows = result.data["rows"]  # sorted by decreasing frac
+    assert rows[0]["frac"] == 1.0 and rows[-1]["frac"] == 1.0 / 64
+    for hi, lo in zip(rows, rows[1:]):
+        # per-rank eigenbasis memory strictly decreases as f decreases...
+        assert lo["eigenbasis_bytes_per_rank"] < hi["eigenbasis_bytes_per_rank"]
+        # ...while second-stage (preconditioned-grad) comm strictly increases
+        assert lo["precond_share_bytes_per_rank"] > hi["precond_share_bytes_per_rank"]
+        assert lo["precond_tcomm"] >= hi["precond_tcomm"]
+        # and the group eigenbasis share shrinks with the group
+        assert lo["eig_tcomm"] <= hi["eig_tcomm"]
+
+
+def test_grad_worker_frac_model_endpoints():
+    """f=1 reproduces the COMM_OPT model exactly; f=1/P the LAYER_WISE loads."""
+    im = IterationModel(resnet_spec(50), V100_LIKE, FRONTERA_LIKE)
+    intervals = KfacIntervals.from_eig_interval(100)
+    p = 64
+    for policy in ("round_robin", "greedy"):
+        hybrid = im.kfac_iteration_time(
+            p, "hybrid", intervals, policy=policy, grad_worker_frac=1.0
+        )
+        comm_opt = im.kfac_iteration_time(p, "comm-opt", intervals, policy=policy)
+        assert hybrid == comm_opt
+    assert im.hybrid_eig_stage_time(p, 1 / p) == im.eig_stage_time(p, "layer-wise")
+    assert im.hybrid_precondition_time(p, 1 / p) == im.precondition_time_layer_wise(p)
+    assert im.eig_group_comm_time(p, 1 / p) == 0.0
+    assert im.precond_share_time(p, 1.0) == 0.0
+
+
+def test_grad_worker_frac_trajectory_endpoints_bit_match():
+    """Real P=4 trajectories: f=1 == COMM_OPT and f=1/P == LAYER_WISE, bitwise."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+    from test_grad_worker_frac import run_hybrid
+
+    ref_opt = run_hybrid(4, strategy="comm-opt")
+    ref_lw = run_hybrid(4, strategy="layer-wise")
+    f_one = run_hybrid(4, grad_worker_frac=1.0)
+    f_lw = run_hybrid(4, grad_worker_frac=0.25)
+    for key in ref_opt:
+        assert np.array_equal(f_one[key], ref_opt[key]), key
+        assert np.array_equal(f_lw[key], ref_lw[key]), key

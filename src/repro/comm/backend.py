@@ -81,6 +81,14 @@ class OverlapStats:
     engine split into ``exposed = max(0, t - overlap_budget)`` plus the
     ``hidden`` remainder (comm time masked by concurrent local compute,
     the SPD-KFAC pipelining gain).
+
+    Example
+    -------
+    >>> from repro.comm.backend import OverlapStats
+    >>> stats = OverlapStats()
+    >>> stats.record("factor_comm", exposed=0.2, hidden=0.8)
+    >>> stats.total("factor_comm"), stats.total_hidden()
+    (1.0, 0.8)
     """
 
     exposed_by_phase: dict[str, float] = field(default_factory=lambda: defaultdict(float))
@@ -111,7 +119,19 @@ class OverlapStats:
 
 
 class World:
-    """A simulated set of ``size`` communicating workers."""
+    """A simulated set of ``size`` communicating workers.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.comm.backend import World
+    >>> world = World(2)
+    >>> out = world.allreduce([np.array([1.0]), np.array([3.0])])
+    >>> out[0].tolist()                          # averaged across ranks
+    [2.0]
+    >>> world.stats.total_ops()                  # and accounted
+    1
+    """
 
     def __init__(self, size: int, net: NetworkProfile = EDR_LIKE) -> None:
         if size < 1:
@@ -126,7 +146,7 @@ class World:
         self._pending: dict[str, dict[int, np.ndarray]] = {}
         self._results: dict[str, list[Any]] = {}
         self._consumed: dict[str, int] = {}
-        self._op_meta: dict[str, tuple[str, Any]] = {}
+        self._op_meta: dict[str, tuple[str, Any, tuple[int, ...]]] = {}
         self._overlap_budget: dict[str, float] = {}
         # per (kind, name, rank) repost counter so op names can be reused
         # across iterations without racing slow consumers
@@ -230,6 +250,56 @@ class World:
         self._charge(phase, broadcast_time(value.nbytes, self.size, self.net), value.nbytes)
         return out
 
+    def group_allgather(
+        self,
+        contributions: Sequence[np.ndarray],
+        ranks: Sequence[int],
+        phase: str = "allgather",
+    ) -> list[list[np.ndarray]]:
+        """Ring allgather restricted to a rank subset (a worker group).
+
+        ``contributions`` is ordered as ``ranks``; each member receives
+        the full list of member contributions.  Cost and bytes are those
+        of a ``len(ranks)``-rank ring — the gradient-worker-fraction
+        strategy's cheaper eigenbasis exchange.
+        """
+        group = tuple(ranks)
+        contribs = list(contributions)
+        if len(contribs) != len(group):
+            raise ValueError(f"expected {len(group)} contributions, got {len(contribs)}")
+        if len(set(group)) != len(group) or any(not 0 <= r < self.size for r in group):
+            raise ValueError(f"invalid group ranks {group} for world size {self.size}")
+        if len(group) == 1:
+            return [[contribs[0]]]
+        total = float(sum(c.nbytes for c in contribs))
+        out = ring_allgather(contribs)
+        self._charge(phase, allgather_time(total, len(group), self.net), total)
+        return out
+
+    def group_broadcast(
+        self,
+        value: np.ndarray,
+        root: int,
+        ranks: Sequence[int],
+        phase: str = "broadcast",
+    ) -> list[np.ndarray]:
+        """Binomial broadcast from ``root`` to the subset ``ranks``.
+
+        Returns one copy per listed rank (ordered as ``ranks``).  The
+        simulated tree spans only the group, so a broadcast to few ranks
+        is proportionally cheaper than a world broadcast.
+        """
+        group = tuple(ranks)
+        if root not in group:
+            raise ValueError(f"root {root} not in group {group}")
+        if len(set(group)) != len(group) or any(not 0 <= r < self.size for r in group):
+            raise ValueError(f"invalid group ranks {group} for world size {self.size}")
+        if len(group) == 1:
+            return [value]
+        out = binomial_broadcast(value, len(group), group.index(root))
+        self._charge(phase, broadcast_time(value.nbytes, len(group), self.net), value.nbytes)
+        return out
+
     def reduce_scatter(
         self, buffers: Sequence[np.ndarray], phase: str = "reduce_scatter"
     ) -> list[np.ndarray]:
@@ -293,26 +363,35 @@ class World:
         meta: Any,
         timeout: float,
         overlap_seconds: float = 0.0,
+        ranks: Sequence[int] | None = None,
     ) -> Any:
         """Post one rank's contribution to a named op; blocks until matched.
 
         ``overlap_seconds`` is this rank's compute time since the op was
         launched; the *minimum* across ranks bounds how much of the op's
         cost counts as hidden (the least-overlapped rank sets the barrier).
+        ``ranks`` restricts the op to a worker group: only listed ranks
+        post, and the op completes once all of them have (the default is
+        the whole world).
         """
+        group = tuple(range(self.size)) if ranks is None else tuple(ranks)
         with self._lock:
+            if rank not in group:
+                raise DeadlockError(
+                    f"op {name!r}: rank {rank} posted to group {group} it is not in"
+                )
             gen = self._generation.get((kind, name, rank), 0)
             self._generation[(kind, name, rank)] = gen + 1
             key = f"{kind}:{name}#{gen}"
             if key in self._op_meta:
-                prev_kind, prev_meta = self._op_meta[key]
-                if prev_kind != kind or prev_meta != meta:
+                prev_kind, prev_meta, prev_group = self._op_meta[key]
+                if prev_kind != kind or prev_meta != meta or prev_group != group:
                     raise DeadlockError(
-                        f"op {name!r}: rank {rank} posted {kind}/{meta}, "
-                        f"but op was registered as {prev_kind}/{prev_meta}"
+                        f"op {name!r}: rank {rank} posted {kind}/{meta}/{group}, "
+                        f"but op was registered as {prev_kind}/{prev_meta}/{prev_group}"
                     )
             else:
-                self._op_meta[key] = (kind, meta)
+                self._op_meta[key] = (kind, meta, group)
             pending = self._pending.setdefault(key, {})
             if rank in pending:
                 raise DeadlockError(f"op {name!r}: rank {rank} posted twice")
@@ -320,11 +399,12 @@ class World:
             self._overlap_budget[key] = min(
                 self._overlap_budget.get(key, float("inf")), max(0.0, overlap_seconds)
             )
-            if len(pending) == self.size:
-                ordered = [pending[r] for r in range(self.size)]
-                self._results[key] = self._execute(
+            if len(pending) == len(group):
+                ordered = [pending[r] for r in group]
+                values = self._execute(
                     kind, ordered, meta, self._overlap_budget.pop(key, 0.0)
                 )
+                self._results[key] = dict(zip(group, values))
                 self._consumed[key] = 0
                 self._lock.notify_all()
             else:
@@ -336,13 +416,13 @@ class World:
                             f"({type(self._spmd_failed).__name__})"
                         )
                     if not self._lock.wait(timeout=deadline):
-                        missing = [r for r in range(self.size) if r not in pending]
+                        missing = [r for r in group if r not in pending]
                         raise DeadlockError(
                             f"op {name!r} timed out waiting for ranks {missing}"
                         )
             result = self._results[key][rank]
             self._consumed[key] += 1
-            if self._consumed[key] == self.size:
+            if self._consumed[key] == len(group):
                 # whole op consumed: clear so the name can be reused next iter
                 del self._results[key]
                 del self._pending[key]
@@ -363,8 +443,16 @@ class World:
         if kind == "broadcast":
             root = meta[0]
             return self.broadcast(ordered[root], root=root, phase=meta[1])
+        if kind == "group_allgather":
+            ranks, phase = meta
+            return self.group_allgather(ordered, ranks, phase=phase)
+        if kind == "group_broadcast":
+            root, ranks, phase = meta
+            return self.group_broadcast(
+                ordered[ranks.index(root)], root, ranks, phase=phase
+            )
         if kind == "barrier":
-            return [None] * self.size
+            return [None] * len(ordered)
         raise ValueError(f"unknown collective kind {kind!r}")
 
 
@@ -440,6 +528,40 @@ class RankView:
         """Blocking named broadcast from ``root``."""
         return self.world._post_matched(
             "broadcast", name, self.rank, tensor, (root, phase), self.timeout
+        )
+
+    def group_allgather(
+        self,
+        tensor: np.ndarray,
+        name: str,
+        ranks: Sequence[int],
+        phase: str = "allgather",
+    ) -> list[np.ndarray]:
+        """Blocking allgather among a rank subset (this rank must be in it).
+
+        Only ranks listed in ``ranks`` may post; the op completes once all
+        of them have.  Returns the members' contributions ordered as
+        ``ranks``.
+        """
+        group = tuple(ranks)
+        return self.world._post_matched(
+            "group_allgather", name, self.rank, tensor, (group, phase),
+            self.timeout, ranks=group,
+        )
+
+    def group_broadcast(
+        self,
+        tensor: np.ndarray,
+        name: str,
+        root: int,
+        ranks: Sequence[int],
+        phase: str = "broadcast",
+    ) -> np.ndarray:
+        """Blocking broadcast from ``root`` to the subset ``ranks``."""
+        group = tuple(ranks)
+        return self.world._post_matched(
+            "group_broadcast", name, self.rank, tensor, (root, group, phase),
+            self.timeout, ranks=group,
         )
 
     def barrier(self, name: str = "barrier") -> None:

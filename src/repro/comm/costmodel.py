@@ -26,6 +26,7 @@ __all__ = [
     "reduce_scatter_time",
     "allgather_time",
     "broadcast_time",
+    "scatter_broadcast_time",
     "EDR_LIKE",
     "SLOW_ETHERNET",
 ]
@@ -56,7 +57,15 @@ class NetworkProfile:
             raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
 
     def transfer_time(self, nbytes: float) -> float:
-        """Time for a single point-to-point message."""
+        """Time for a single point-to-point message.
+
+        Example
+        -------
+        >>> from repro.comm.costmodel import NetworkProfile
+        >>> net = NetworkProfile(latency=1e-6, bandwidth=1e9)
+        >>> net.transfer_time(1e9)     # 1 GB at 1 GB/s (+1 us latency)
+        1.000001
+        """
         return self.latency + nbytes / self.bandwidth
 
 
@@ -77,7 +86,18 @@ def _check(nbytes: float, p: int) -> None:
 
 
 def allreduce_time(nbytes: float, p: int, net: NetworkProfile) -> float:
-    """Ring allreduce time for an ``nbytes`` payload across ``p`` ranks."""
+    """Ring allreduce time for an ``nbytes`` payload across ``p`` ranks.
+
+    Example
+    -------
+    >>> from repro.comm.costmodel import EDR_LIKE, allreduce_time
+    >>> allreduce_time(1 << 20, 1, EDR_LIKE)            # no peers, no cost
+    0.0
+    >>> t8 = allreduce_time(1 << 20, 8, EDR_LIKE)
+    >>> t64 = allreduce_time(1 << 20, 64, EDR_LIKE)
+    >>> 0.0 < t8 < t64                                  # bandwidth-bound
+    True
+    """
     _check(nbytes, p)
     if p == 1 or nbytes == 0:
         return 0.0
@@ -86,7 +106,15 @@ def allreduce_time(nbytes: float, p: int, net: NetworkProfile) -> float:
 
 
 def reduce_scatter_time(nbytes: float, p: int, net: NetworkProfile) -> float:
-    """Ring reduce-scatter time (``nbytes`` = full input payload)."""
+    """Ring reduce-scatter time (``nbytes`` = full input payload).
+
+    Example
+    -------
+    >>> from repro.comm.costmodel import EDR_LIKE, allreduce_time, reduce_scatter_time
+    >>> rs = reduce_scatter_time(1 << 20, 8, EDR_LIKE)
+    >>> rs * 2 == allreduce_time(1 << 20, 8, EDR_LIKE)   # half the ring
+    True
+    """
     _check(nbytes, p)
     if p == 1 or nbytes == 0:
         return 0.0
@@ -94,7 +122,14 @@ def reduce_scatter_time(nbytes: float, p: int, net: NetworkProfile) -> float:
 
 
 def allgather_time(total_nbytes: float, p: int, net: NetworkProfile) -> float:
-    """Ring allgather time (``total_nbytes`` = size of the gathered result)."""
+    """Ring allgather time (``total_nbytes`` = size of the gathered result).
+
+    Example
+    -------
+    >>> from repro.comm.costmodel import EDR_LIKE, allgather_time
+    >>> 0.0 < allgather_time(1 << 20, 4, EDR_LIKE) < allgather_time(1 << 20, 8, EDR_LIKE)
+    True
+    """
     _check(total_nbytes, p)
     if p == 1 or total_nbytes == 0:
         return 0.0
@@ -102,9 +137,42 @@ def allgather_time(total_nbytes: float, p: int, net: NetworkProfile) -> float:
 
 
 def broadcast_time(nbytes: float, p: int, net: NetworkProfile) -> float:
-    """Binomial-tree broadcast time."""
+    """Binomial-tree broadcast time.
+
+    Example
+    -------
+    >>> from repro.comm.costmodel import EDR_LIKE, broadcast_time
+    >>> t4, t8 = (broadcast_time(1 << 10, p, EDR_LIKE) for p in (4, 8))
+    >>> round(t8 / t4, 2)                # ceil(log2 p) rounds: 3/2
+    1.5
+    """
     _check(nbytes, p)
     if p == 1 or nbytes == 0:
         return 0.0
     rounds = math.ceil(math.log2(p))
     return rounds * net.transfer_time(nbytes)
+
+
+def scatter_broadcast_time(nbytes: float, p: int, net: NetworkProfile) -> float:
+    """Bandwidth-optimal large-payload broadcast: scatter + ring allgather.
+
+    The van-de-Geijn algorithm NCCL-style collectives use above the
+    latency regime: the root scatters ``1/p`` chunks, then a ring
+    allgather reassembles them — ``2 (p-1) alpha + 2 n (p-1)/p / beta``,
+    strictly increasing in ``p`` for fixed payload (unlike the stepwise
+    binomial tree).  This prices the second-stage preconditioned-gradient
+    broadcasts of the gradient-worker-fraction placement.
+
+    Example
+    -------
+    >>> from repro.comm.costmodel import EDR_LIKE, scatter_broadcast_time
+    >>> t33 = scatter_broadcast_time(1 << 20, 33, EDR_LIKE)
+    >>> t64 = scatter_broadcast_time(1 << 20, 64, EDR_LIKE)
+    >>> 0.0 < t33 < t64
+    True
+    """
+    _check(nbytes, p)
+    if p == 1 or nbytes == 0:
+        return 0.0
+    steps = 2 * (p - 1)
+    return steps * net.latency + 2.0 * nbytes * (p - 1) / p / net.bandwidth

@@ -67,6 +67,15 @@ def estimate_second_order_seconds(dims: Sequence[int], eigen: bool = True) -> fl
     ``dims`` are the factor side lengths handled locally between an async
     launch and its wait; the result prices how much in-flight communication
     that compute can hide.
+
+    Example
+    -------
+    >>> from repro.comm.engine import estimate_second_order_seconds
+    >>> t = estimate_second_order_seconds([256, 512])
+    >>> t == estimate_second_order_seconds([256, 512])   # deterministic
+    True
+    >>> t > estimate_second_order_seconds([256])
+    True
     """
     coef = EIG_FLOP_COEF if eigen else INV_FLOP_COEF
     return sum(coef * float(d) ** 3 for d in dims) / NOMINAL_SECOND_ORDER_FLOPS
@@ -78,6 +87,12 @@ def symmetric_payload_nbytes(dims: Sequence[int], itemsize: int = 4) -> list[int
     A ``d x d`` symmetric factor ships as ``d*(d+1)/2`` elements; feed the
     result to :func:`partition_buckets` to derive the pipeline chunking
     the packed exchange actually sees.
+
+    Example
+    -------
+    >>> from repro.comm.engine import symmetric_payload_nbytes
+    >>> symmetric_payload_nbytes([3, 4])      # 6 and 10 elements, fp32
+    [24, 40]
     """
     return [tri_len(int(d)) * int(itemsize) for d in dims]
 
@@ -88,6 +103,12 @@ def partition_buckets(nbytes_list: Sequence[int], bucket_bytes: int) -> list[lis
     Items larger than the capacity get a bucket of their own; order is
     preserved so every rank derives the identical partition from the same
     metadata (a hard requirement for lockstep matching).
+
+    Example
+    -------
+    >>> from repro.comm.engine import partition_buckets
+    >>> partition_buckets([10, 10, 10, 25], bucket_bytes=20)
+    [[0, 1], [2], [3]]
     """
     if bucket_bytes <= 0:
         raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
@@ -107,7 +128,21 @@ def partition_buckets(nbytes_list: Sequence[int], bucket_bytes: int) -> list[lis
 
 
 class CommEngine:
-    """Asynchronous, bucketed communication engine over one world."""
+    """Asynchronous, bucketed communication engine over one world.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.comm.backend import World
+    >>> from repro.comm.engine import CommEngine
+    >>> engine = CommEngine(World(2), bucket_bytes=1 << 20)
+    >>> handle = engine.allreduce_async([np.ones(4), np.ones(4)])
+    >>> engine.in_flight
+    1
+    >>> reduced = handle.wait(overlap_seconds=0.5)   # comm hidden by compute
+    >>> reduced[0].tolist()
+    [1.0, 1.0, 1.0, 1.0]
+    """
 
     def __init__(self, world: World, bucket_bytes: int = DEFAULT_BUCKET_BYTES) -> None:
         if bucket_bytes <= 0:

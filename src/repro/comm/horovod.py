@@ -41,7 +41,20 @@ Sum = "sum"
 
 
 class HorovodContext:
-    """Per-rank communication API bound to a :class:`RankView`."""
+    """Per-rank communication API bound to a :class:`RankView`.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.comm.backend import World
+    >>> from repro.comm.horovod import HorovodContext
+    >>> def program(view):
+    ...     hvd = HorovodContext(view)
+    ...     out = hvd.allreduce(np.array([float(hvd.rank())]), name="r")
+    ...     return float(out[0])
+    >>> World(4).run_spmd(program)        # mean of ranks 0..3
+    [1.5, 1.5, 1.5, 1.5]
+    """
 
     def __init__(self, view: RankView) -> None:
         self._view = view
@@ -103,6 +116,33 @@ class HorovodContext:
     def broadcast(self, tensor: np.ndarray, name: str, root: int = 0) -> np.ndarray:
         return self._view.broadcast(tensor, name=name, root=root)
 
+    def group_allgather(
+        self,
+        tensor: np.ndarray,
+        name: str,
+        ranks: tuple[int, ...],
+        phase: str = "allgather",
+    ) -> list[np.ndarray]:
+        """Blocking allgather among a rank subset (this rank must belong).
+
+        Used by the gradient-worker-fraction strategy to share
+        eigendecompositions inside a group instead of across the world.
+        """
+        return self._view.group_allgather(tensor, name=name, ranks=ranks, phase=phase)
+
+    def group_broadcast(
+        self,
+        tensor: np.ndarray,
+        name: str,
+        root: int,
+        ranks: tuple[int, ...],
+        phase: str = "broadcast",
+    ) -> np.ndarray:
+        """Blocking broadcast from ``root`` to the subset ``ranks``."""
+        return self._view.group_broadcast(
+            tensor, name=name, root=root, ranks=ranks, phase=phase
+        )
+
     def barrier(self, name: str = "barrier") -> None:
         self._view.barrier(name)
 
@@ -122,7 +162,27 @@ class HorovodContext:
 
 
 class DistributedOptimizer:
-    """Wraps a local optimizer with gradient averaging (Horovod contract)."""
+    """Wraps a local optimizer with gradient averaging (Horovod contract).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.comm.backend import World
+    >>> from repro.comm.horovod import DistributedOptimizer, HorovodContext
+    >>> from repro.nn.layers import Linear
+    >>> from repro.optim.sgd import SGD
+    >>> def program(view):
+    ...     hvd = HorovodContext(view)
+    ...     model = Linear(2, 1, rng=np.random.default_rng(0))
+    ...     opt = DistributedOptimizer(
+    ...         SGD(model.parameters(), lr=0.1), hvd, model.named_parameters()
+    ...     )
+    ...     model.weight.grad[...] = float(hvd.rank())   # divergent grads...
+    ...     opt.synchronize()                            # ...averaged here
+    ...     return float(model.weight.grad[0, 0])
+    >>> World(2).run_spmd(program)
+    [0.5, 0.5]
+    """
 
     def __init__(
         self,

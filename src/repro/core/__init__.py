@@ -22,6 +22,10 @@ Layout:
 
 from repro.core.assignment import (
     FactorMeta,
+    GroupPlacement,
+    build_group_placement,
+    grad_worker_count,
+    grad_worker_groups,
     greedy_balanced_assignment,
     round_robin_assignment,
 )
@@ -45,6 +49,7 @@ from repro.core.inverse import (
 )
 from repro.core.preconditioner import (
     COMM_OPT,
+    HYBRID,
     LAYER_WISE,
     KFAC,
     KFACHyperParams,
@@ -61,6 +66,7 @@ __all__ = [
     "KFACHyperParams",
     "COMM_OPT",
     "LAYER_WISE",
+    "HYBRID",
     "LocalDriver",
     "PhaseController",
     "SPMDDriver",
@@ -68,6 +74,10 @@ __all__ = [
     "FactorMeta",
     "round_robin_assignment",
     "greedy_balanced_assignment",
+    "GroupPlacement",
+    "build_group_placement",
+    "grad_worker_count",
+    "grad_worker_groups",
     "kl_clip_factor",
     "linear_factor_A",
     "linear_factor_G",

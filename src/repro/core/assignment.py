@@ -11,11 +11,23 @@ The same module also provides layer-wise assignment for the K-FAC-lw
 baseline, where *both* factors of a layer (and its gradient
 preconditioning) live on one worker — the scheme of Osawa et al. [6] that
 the paper improves upon.
+
+Between those two extremes sits the KAISA-style *gradient-worker
+fraction* (arXiv:2107.01739): each layer gets a **gradient-worker
+group** of ``max(1, round(f * P))`` ranks that hold the layer's
+eigendecompositions and compute its preconditioned gradient locally;
+the remaining ranks receive only the final preconditioned gradient via
+a group-rooted broadcast.  ``f = 1/P`` recovers the layer-wise
+placement, ``f = 1`` recovers the comm-opt placement, and intermediate
+values trade per-rank eigenbasis memory against second-stage
+communication.  :func:`build_group_placement` constructs the groups and
+the within-group factor assignment; :class:`GroupPlacement` carries the
+placement metadata the preconditioner and the drivers consume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 __all__ = [
@@ -25,12 +37,24 @@ __all__ = [
     "greedy_balanced_assignment",
     "layer_wise_assignment",
     "worker_costs",
+    "grad_worker_count",
+    "grad_worker_groups",
+    "GroupPlacement",
+    "build_group_placement",
 ]
 
 
 @dataclass(frozen=True)
 class FactorMeta:
-    """Identity and size of one Kronecker factor."""
+    """Identity and size of one Kronecker factor.
+
+    Example
+    -------
+    >>> from repro.core.assignment import FactorMeta
+    >>> meta = FactorMeta(layer="conv1", kind="A", dim=27)
+    >>> meta.key, meta.n_elements
+    ('conv1/A', 729)
+    """
 
     layer: str  # owning layer name
     kind: str  # "A" or "G"
@@ -57,6 +81,14 @@ def round_robin_assignment(
 
     Note both factors of one layer generally land on *different* workers —
     the "double the worker utilization" property of §IV-C.
+
+    Example
+    -------
+    >>> from repro.core.assignment import FactorMeta, round_robin_assignment
+    >>> metas = [FactorMeta("l0", "A", 4), FactorMeta("l1", "A", 4),
+    ...          FactorMeta("l0", "G", 2)]
+    >>> round_robin_assignment(metas, 2)
+    {'l0/A': 0, 'l1/A': 1, 'l0/G': 0}
     """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -70,7 +102,17 @@ def greedy_balanced_assignment(
 ) -> dict[str, int]:
     """LPT heuristic: sort by cost descending, give each to the least-loaded
     worker.  This is the §VI-C4 "placement policy that uses factor size as
-    a heuristic for the eigen decomposition time"."""
+    a heuristic for the eigen decomposition time".
+
+    Example
+    -------
+    >>> from repro.core.assignment import FactorMeta, greedy_balanced_assignment
+    >>> metas = [FactorMeta("big", "A", 100), FactorMeta("s1", "A", 10),
+    ...          FactorMeta("s2", "A", 10)]
+    >>> a = greedy_balanced_assignment(metas, 2)
+    >>> a["big"+"/A"] != a["s1/A"] == a["s2/A"]   # small ones pack together
+    True
+    """
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     loads = [0.0] * n_workers
@@ -103,3 +145,152 @@ def worker_costs(
     for meta in factors:
         loads[assignment[meta.key]] += cost_fn(meta)
     return loads
+
+
+# ----------------------------------------------------------------------
+# KAISA-style gradient-worker groups (arXiv:2107.01739)
+# ----------------------------------------------------------------------
+def grad_worker_count(n_workers: int, frac: float) -> int:
+    """Gradient-worker group size ``max(1, round(frac * P))``, clamped to P.
+
+    Example
+    -------
+    >>> grad_worker_count(8, 0.5)
+    4
+    >>> grad_worker_count(8, 1 / 8)   # layer-wise endpoint
+    1
+    >>> grad_worker_count(8, 1.0)     # comm-opt endpoint
+    8
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if not 0.0 < frac <= 1.0:
+        raise ValueError(f"grad_worker_frac must be in (0, 1], got {frac}")
+    return max(1, min(n_workers, round(frac * n_workers)))
+
+
+def grad_worker_groups(
+    layer_names: Sequence[str], n_workers: int, frac: float
+) -> dict[str, tuple[int, ...]]:
+    """Per-layer gradient-worker groups: contiguous rank windows.
+
+    Layer ``i``'s group starts at its canonical owner ``i % P`` (so the
+    first element is the group's broadcast root) and wraps around the
+    ring.  With ``frac = 1/P`` every group is the singleton owner (the
+    layer-wise placement); with ``frac = 1`` every group is the whole
+    world (the comm-opt placement).
+
+    Example
+    -------
+    >>> grad_worker_groups(["a", "b", "c"], 4, 0.5)
+    {'a': (0, 1), 'b': (1, 2), 'c': (2, 3)}
+    >>> grad_worker_groups(["a", "b"], 2, 0.5)   # f = 1/P: singletons
+    {'a': (0,), 'b': (1,)}
+    """
+    g = grad_worker_count(n_workers, frac)
+    if g == n_workers:
+        # every rank is a gradient worker: one canonical world group (no
+        # broadcast root needed), so factor assignment degenerates to the
+        # exact global round-robin/greedy policies of the COMM_OPT path
+        world = tuple(range(n_workers))
+        return {name: world for name in layer_names}
+    return {
+        name: tuple((i + j) % n_workers for j in range(g))
+        for i, name in enumerate(layer_names)
+    }
+
+
+@dataclass
+class GroupPlacement:
+    """Placement metadata for the gradient-worker-fraction strategy.
+
+    Attributes
+    ----------
+    n_workers:
+        World size P.
+    group_size:
+        Gradient workers per layer, ``max(1, round(frac * P))``.
+    groups:
+        layer name -> gradient-worker ranks (root first, ring order).
+    assignment:
+        factor key -> eigendecomposition worker (a member of the
+        factor's layer group).
+
+    Example
+    -------
+    >>> metas = [FactorMeta("a", "A", 4), FactorMeta("a", "G", 2)]
+    >>> gp = build_group_placement(metas, n_workers=4, frac=0.5)
+    >>> gp.group_size, gp.groups["a"], gp.root("a")
+    (2, (0, 1), 0)
+    >>> gp.is_grad_worker(1, "a"), gp.is_grad_worker(3, "a")
+    (True, False)
+    """
+
+    n_workers: int
+    group_size: int
+    groups: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    assignment: dict[str, int] = field(default_factory=dict)
+
+    def root(self, layer: str) -> int:
+        """The layer's canonical owner — root of its grad broadcast."""
+        return self.groups[layer][0]
+
+    def is_grad_worker(self, rank: int, layer: str) -> bool:
+        """True iff ``rank`` holds the layer's eigenbasis."""
+        return rank in self.groups[layer]
+
+
+def build_group_placement(
+    factors: Sequence[FactorMeta],
+    n_workers: int,
+    frac: float,
+    policy: str = "round_robin",
+    cost_fn: Callable[[FactorMeta], float] = eig_cost,
+) -> GroupPlacement:
+    """Construct groups + within-group factor assignment for a fraction.
+
+    ``policy`` mirrors the global policies: ``"round_robin"`` cycles each
+    group's members in factor-enumeration order (with ``frac = 1`` every
+    layer shares the whole-world group, so this degenerates to the exact
+    global round-robin of :func:`round_robin_assignment`); ``"greedy"``
+    gives each factor to the least-loaded member of its layer's group
+    (degenerating to :func:`greedy_balanced_assignment` at ``frac = 1``).
+
+    Example
+    -------
+    >>> metas = [FactorMeta("a", "A", 4), FactorMeta("b", "A", 4),
+    ...          FactorMeta("a", "G", 2), FactorMeta("b", "G", 2)]
+    >>> gp = build_group_placement(metas, n_workers=2, frac=1.0)
+    >>> gp.assignment == round_robin_assignment(metas, 2)
+    True
+    >>> build_group_placement(metas, n_workers=2, frac=0.5).assignment
+    {'a/A': 0, 'b/A': 1, 'a/G': 0, 'b/G': 1}
+    """
+    if policy not in ("round_robin", "greedy"):
+        raise ValueError(f"unknown assignment policy {policy!r}")
+    layer_names: list[str] = []
+    for meta in factors:
+        if meta.layer not in layer_names:
+            layer_names.append(meta.layer)
+    groups = grad_worker_groups(layer_names, n_workers, frac)
+    assignment: dict[str, int] = {}
+    if policy == "greedy":
+        loads = [0.0] * n_workers
+        for meta in sorted(factors, key=cost_fn, reverse=True):
+            grp = groups[meta.layer]
+            worker = min(grp, key=loads.__getitem__)
+            assignment[meta.key] = worker
+            loads[worker] += cost_fn(meta)
+    else:
+        cursor: dict[tuple[int, ...], int] = {}
+        for meta in factors:
+            grp = groups[meta.layer]
+            i = cursor.get(grp, 0)
+            assignment[meta.key] = grp[i % len(grp)]
+            cursor[grp] = i + 1
+    return GroupPlacement(
+        n_workers=n_workers,
+        group_size=grad_worker_count(n_workers, frac),
+        groups=groups,
+        assignment=assignment,
+    )

@@ -37,6 +37,15 @@ def kl_clip_factor(
         Current learning rate ``alpha``.
     kl_clip:
         The user constant ``kappa``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.clipping import kl_clip_factor
+    >>> g = [np.ones((2, 2))]
+    >>> nu = kl_clip_factor(g, g, lr=0.1, kl_clip=1e-3)
+    >>> 0.0 < nu <= 1.0       # min(1, sqrt(kappa / sum)) scaling
+    True
     """
     if len(precond_grads) != len(raw_grads):
         raise ValueError(

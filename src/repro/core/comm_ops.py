@@ -77,6 +77,8 @@ __all__ = [
     "AllGatherRequest",
     "AllReduceLaunch",
     "AllGatherLaunch",
+    "GroupAllGatherRequest",
+    "GroupBroadcastRequest",
     "WaitRequest",
     "pack_arrays",
     "unpack_arrays",
@@ -139,6 +141,42 @@ class AllGatherLaunch:
     phase: str = "allgather"
     tag: str = ""
     meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class GroupAllGatherRequest:
+    """Allgather restricted to a rank subset (a gradient-worker group).
+
+    Every rank yields this request in lockstep, but only ranks listed in
+    ``ranks`` contribute a tensor (others pass ``None``) and only they
+    receive the response: the list of members' contributions ordered as
+    ``ranks``.  Non-members are resumed with ``None``.  The rank order in
+    ``ranks`` is the group's ring order (root first) and must be
+    identical on every rank.
+    """
+
+    tensor: np.ndarray | None
+    ranks: tuple[int, ...]
+    phase: str = "allgather"
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class GroupBroadcastRequest:
+    """Broadcast from ``root`` to a rank subset.
+
+    Used by the gradient-worker-fraction strategy's second stage: the
+    group root ships the final preconditioned gradients to the ranks
+    *outside* the gradient-worker group, so ``ranks`` is
+    ``(root, *non_members)``.  Only ``root`` provides ``tensor``; every
+    listed rank is resumed with the broadcast value, everyone else with
+    ``None``.
+    """
+
+    tensor: np.ndarray | None
+    root: int
+    ranks: tuple[int, ...]
+    phase: str = "broadcast"
 
 
 @dataclass

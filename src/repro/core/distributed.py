@@ -34,6 +34,8 @@ from repro.core.comm_ops import (
     AllGatherRequest,
     AllReduceLaunch,
     AllReduceRequest,
+    GroupAllGatherRequest,
+    GroupBroadcastRequest,
     WaitRequest,
     pack_arrays,
     unpack_arrays,
@@ -44,7 +46,24 @@ __all__ = ["LocalDriver", "PhaseController", "SPMDDriver"]
 
 
 class LocalDriver:
-    """Drive one KFAC instance with no communication (world of one)."""
+    """Drive one KFAC instance with no communication (world of one).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.distributed import LocalDriver
+    >>> from repro.core.preconditioner import KFAC
+    >>> from repro.nn import Linear, Sequential
+    >>> from repro.nn.loss import CrossEntropyLoss
+    >>> model = Sequential(Linear(4, 3))
+    >>> driver = LocalDriver(KFAC(model, kfac_update_freq=1))
+    >>> loss_fn = CrossEntropyLoss()
+    >>> _ = loss_fn(model(np.ones((4, 4), dtype=np.float32)), np.arange(4) % 3)
+    >>> _ = model.backward(loss_fn.backward())
+    >>> driver.step()
+    >>> driver.kfac.steps
+    1
+    """
 
     def __init__(self, kfac: KFAC) -> None:
         if kfac.world_size != 1:
@@ -70,6 +89,29 @@ class PhaseController:
     ``world_size == world.size`` and ``rank == index``; the controller
     matches their yielded requests step by step and executes each matched
     request as one fused collective.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.comm.backend import World
+    >>> from repro.core.distributed import PhaseController
+    >>> from repro.core.preconditioner import KFAC
+    >>> from repro.nn import Linear, Sequential
+    >>> from repro.nn.loss import CrossEntropyLoss
+    >>> world = World(2)
+    >>> models = [Sequential(Linear(4, 3, rng=np.random.default_rng(1)))
+    ...           for _ in range(2)]
+    >>> kfacs = [KFAC(m, rank=r, world_size=2, kfac_update_freq=1)
+    ...          for r, m in enumerate(models)]
+    >>> controller = PhaseController(kfacs, world)
+    >>> x = np.ones((4, 4), dtype=np.float32)
+    >>> for m in models:
+    ...     loss_fn = CrossEntropyLoss()
+    ...     _ = loss_fn(m(x), np.arange(4) % 3)
+    ...     _ = m.backward(loss_fn.backward())
+    >>> controller.step()             # one lockstep K-FAC step, fused comm
+    >>> world.stats.total_ops() > 0
+    True
     """
 
     def __init__(self, kfacs: Sequence[KFAC], world: World) -> None:
@@ -108,6 +150,10 @@ class PhaseController:
                 responses = self._run_allreduce(requests)  # type: ignore[arg-type]
             elif isinstance(first, AllGatherRequest):
                 responses = self._run_allgather(requests)  # type: ignore[arg-type]
+            elif isinstance(first, GroupAllGatherRequest):
+                responses = self._run_group_allgather(requests)  # type: ignore[arg-type]
+            elif isinstance(first, GroupBroadcastRequest):
+                responses = self._run_group_broadcast(requests)  # type: ignore[arg-type]
             elif isinstance(first, (AllReduceLaunch, AllGatherLaunch)):
                 responses = self._launch(requests, pending)  # type: ignore[arg-type]
             elif isinstance(first, WaitRequest):
@@ -133,6 +179,42 @@ class PhaseController:
         contributions = [req.tensor for req in reqs]
         gathered = self.world.allgather(contributions, phase=reqs[0].phase)
         return gathered
+
+    def _run_group_allgather(
+        self, reqs: list[GroupAllGatherRequest]
+    ) -> list[list[np.ndarray] | None]:
+        """Group allgather: members contribute/receive, others get None."""
+        groups = {req.ranks for req in reqs}
+        if len(groups) != 1:
+            raise RuntimeError(f"replicas diverged: mixed groups {sorted(groups)}")
+        ranks = reqs[0].ranks
+        for r, req in enumerate(reqs):
+            if (req.tensor is None) != (r not in ranks):
+                raise RuntimeError(
+                    f"rank {r}: group-allgather contribution does not match "
+                    f"membership of group {ranks}"
+                )
+        gathered = self.world.group_allgather(
+            [reqs[r].tensor for r in ranks], ranks, phase=reqs[0].phase
+        )
+        by_rank = dict(zip(ranks, gathered))
+        return [by_rank.get(r) for r in range(len(reqs))]
+
+    def _run_group_broadcast(
+        self, reqs: list[GroupBroadcastRequest]
+    ) -> list[np.ndarray | None]:
+        """Group-rooted broadcast: listed ranks receive, others get None."""
+        keys = {(req.root, req.ranks) for req in reqs}
+        if len(keys) != 1:
+            raise RuntimeError(f"replicas diverged: mixed broadcast groups {sorted(keys)}")
+        root, ranks = reqs[0].root, reqs[0].ranks
+        if reqs[root].tensor is None:
+            raise RuntimeError(f"broadcast root {root} provided no tensor")
+        out = self.world.group_broadcast(
+            reqs[root].tensor, root, ranks, phase=reqs[0].phase
+        )
+        by_rank = dict(zip(ranks, out))
+        return [by_rank.get(r) for r in range(len(reqs))]
 
     def _launch(
         self,
@@ -181,7 +263,29 @@ class PhaseController:
 
 
 class SPMDDriver:
-    """Per-rank driver using matched named collectives (threaded SPMD)."""
+    """Per-rank driver using matched named collectives (threaded SPMD).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.comm.backend import World
+    >>> from repro.comm.horovod import HorovodContext
+    >>> from repro.core.distributed import SPMDDriver
+    >>> from repro.core.preconditioner import KFAC
+    >>> from repro.nn import Linear, Sequential
+    >>> from repro.nn.loss import CrossEntropyLoss
+    >>> def program(view):
+    ...     model = Sequential(Linear(4, 3, rng=np.random.default_rng(1)))
+    ...     kfac = KFAC(model, rank=view.rank, world_size=2, kfac_update_freq=1)
+    ...     driver = SPMDDriver(kfac, HorovodContext(view))
+    ...     loss_fn = CrossEntropyLoss()
+    ...     _ = loss_fn(model(np.ones((4, 4), dtype=np.float32)), np.arange(4) % 3)
+    ...     _ = model.backward(loss_fn.backward())
+    ...     driver.step()
+    ...     return kfac.steps
+    >>> World(2).run_spmd(program)
+    [1, 1]
+    """
 
     def __init__(self, kfac: KFAC, hvd: HorovodContext) -> None:
         if kfac.world_size != hvd.size():
@@ -213,6 +317,38 @@ class SPMDDriver:
                 seq += 1
                 gathered = self.hvd.allgather(req.tensor, name=name, phase=req.phase)
                 req = _advance(gen, gathered)
+            elif isinstance(req, GroupAllGatherRequest):
+                # only group members post; the name must be stable per
+                # *logical group* (not per yield position) because the
+                # world's op-generation counters advance per posting rank —
+                # a seq-based name would desync ranks whose membership
+                # differs between steps.  Contiguous groups have distinct
+                # leading ranks, so the leader identifies the group.
+                name = f"kfac:{req.phase}:grp{req.ranks[0]}"
+                if self.kfac.rank in req.ranks:
+                    assert req.tensor is not None
+                    gathered = self.hvd.group_allgather(
+                        req.tensor, name=name, ranks=req.ranks, phase=req.phase
+                    )
+                    req = _advance(gen, gathered)
+                else:
+                    req = _advance(gen, None)
+            elif isinstance(req, GroupBroadcastRequest):
+                name = f"kfac:{req.phase}:root{req.root}"
+                if self.kfac.rank in req.ranks:
+                    payload = (
+                        req.tensor
+                        if self.kfac.rank == req.root
+                        else np.zeros(0, dtype=np.float32)
+                    )
+                    assert payload is not None
+                    got = self.hvd.group_broadcast(
+                        payload, name=name, root=req.root, ranks=req.ranks,
+                        phase=req.phase,
+                    )
+                    req = _advance(gen, got)
+                else:
+                    req = _advance(gen, None)
             elif isinstance(req, AllReduceLaunch):
                 # matched op names must be identical across ranks, so key
                 # launches by tag (deterministic) rather than sequence

@@ -113,6 +113,14 @@ def linear_factor_A(
         Append the homogeneous ones column when the layer has a bias.
     workspace:
         Optional scratch arena for the bias column and the factor itself.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.factors import linear_factor_A
+    >>> a = np.ones((8, 3), dtype=np.float32)
+    >>> linear_factor_A(a, has_bias=True).shape    # (d_in + 1)^2
+    (4, 4)
     """
     if a.ndim != 2:
         raise ValueError(f"linear activations must be (N, d_in), got {a.shape}")
@@ -139,6 +147,15 @@ def linear_factor_G(
     batch_averaged:
         True when ``g0`` came from a mean-reduced loss (our convention);
         the per-example gradients are then recovered as ``N * g0``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.factors import linear_factor_G
+    >>> g0 = np.ones((8, 2), dtype=np.float32)
+    >>> G = linear_factor_G(g0)
+    >>> G.shape, bool(np.array_equal(G, G.T))
+    ((2, 2), True)
     """
     if g0.ndim != 2:
         raise ValueError(f"output grads must be (N, d_out), got {g0.shape}")
@@ -166,6 +183,14 @@ def conv2d_factor_A(
     Lowers ``x`` with a fresh ``im2col`` pass.  The K-FAC capture hooks
     avoid this entirely by feeding the patch matrix the layer's forward
     already produced to :func:`conv2d_factor_A_from_patches`.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.factors import conv2d_factor_A
+    >>> x = np.ones((2, 3, 4, 4), dtype=np.float32)
+    >>> conv2d_factor_A(x, (3, 3), (1, 1), (1, 1), has_bias=False).shape
+    (27, 27)
     """
     patches = im2col(x, kernel_size, stride, padding)
     factor = conv2d_factor_A_from_patches(patches, has_bias, workspace)
@@ -181,6 +206,18 @@ def conv2d_factor_A_from_patches(
     patch matrix cached by ``Conv2d.forward`` *is* the im2col expansion —
     but skips the second lowering pass, the single largest redundant
     compute in the training loop.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.factors import conv2d_factor_A, conv2d_factor_A_from_patches
+    >>> from repro.tensor.im2col import im2col
+    >>> x = np.random.default_rng(0).normal(size=(2, 1, 4, 4)).astype(np.float32)
+    >>> cached = im2col(x, (3, 3), (1, 1), (1, 1))
+    >>> a = conv2d_factor_A_from_patches(cached, has_bias=False)
+    >>> b = conv2d_factor_A(x, (3, 3), (1, 1), (1, 1), has_bias=False)
+    >>> bool(np.array_equal(a, b))
+    True
     """
     if patches.ndim != 2:
         raise ValueError(f"patches must be (N*L, D), got {patches.shape}")
@@ -208,6 +245,14 @@ def conv2d_factor_G(
     ----------
     g0:
         Gradient w.r.t. the layer output, shape ``(N, C_out, OH, OW)``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.factors import conv2d_factor_G
+    >>> g0 = np.ones((2, 4, 3, 3), dtype=np.float32)
+    >>> conv2d_factor_G(g0).shape      # (C_out, C_out)
+    (4, 4)
     """
     if g0.ndim != 4:
         raise ValueError(f"conv output grads must be (N, C, OH, OW), got {g0.shape}")
@@ -232,6 +277,16 @@ def ema_update(
     directly, avoiding cold-start bias.  With a ``workspace`` the scaled
     temporary comes from pooled scratch, making the steady-state update
     allocation-free (bit-identical arithmetic either way).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.factors import ema_update
+    >>> first = ema_update(None, np.array([2.0]), decay=0.9)
+    >>> first.tolist()                     # cold start adopts the reading
+    [2.0]
+    >>> ema_update(first, np.array([0.0]), decay=0.9).tolist()
+    [1.8]
     """
     if not 0.0 <= decay < 1.0:
         raise ValueError(f"decay must be in [0, 1), got {decay}")

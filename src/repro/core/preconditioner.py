@@ -45,6 +45,8 @@ from repro.comm.engine import (
 from repro.comm.fusion import tri_unpack
 from repro.core.assignment import (
     FactorMeta,
+    GroupPlacement,
+    build_group_placement,
     greedy_balanced_assignment,
     layer_wise_assignment,
     round_robin_assignment,
@@ -55,6 +57,8 @@ from repro.core.comm_ops import (
     AllGatherRequest,
     AllReduceLaunch,
     AllReduceRequest,
+    GroupAllGatherRequest,
+    GroupBroadcastRequest,
     WaitRequest,
     pack_arrays,
     pack_symmetric,
@@ -65,15 +69,23 @@ from repro.core.inverse import FactorEig, eigendecompose, explicit_damped_invers
 from repro.core.layers import KFACLayer, make_kfac_layer
 from repro.nn.module import Module
 
-__all__ = ["KFAC", "KFACHyperParams", "COMM_OPT", "LAYER_WISE"]
+__all__ = ["KFAC", "KFACHyperParams", "COMM_OPT", "LAYER_WISE", "HYBRID"]
 
 COMM_OPT = "comm-opt"
 LAYER_WISE = "layer-wise"
+HYBRID = "hybrid"
 
 
 @dataclass
 class KFACHyperParams:
     """Hyper-parameters of the preconditioner (defaults follow the paper).
+
+    Example
+    -------
+    >>> from repro.core.preconditioner import HYBRID, KFACHyperParams
+    >>> hp = KFACHyperParams(kfac_update_freq=100, grad_worker_frac=0.5)
+    >>> hp.strategy == HYBRID      # the fraction selects the hybrid placement
+    True
 
     Attributes
     ----------
@@ -95,7 +107,19 @@ class KFACHyperParams:
         Eigendecomposition path (True, Eqs. 13–15) or explicit factored
         inverse (False, Eq. 11) — the Table I comparison.
     strategy:
-        ``COMM_OPT`` or ``LAYER_WISE``.
+        ``COMM_OPT``, ``LAYER_WISE``, or ``HYBRID`` (selected implicitly
+        by setting ``grad_worker_frac``).
+    grad_worker_frac:
+        KAISA-style gradient-worker fraction ``f`` (arXiv:2107.01739):
+        each layer gets a group of ``max(1, round(f * P))`` ranks that
+        hold its eigendecompositions (shared by *group* allgather rather
+        than world allgather) and compute the preconditioned gradient
+        locally; everyone else receives only the final preconditioned
+        gradient via a group-rooted broadcast.  ``f = 1/P`` recovers
+        ``LAYER_WISE``, ``f = 1`` recovers ``COMM_OPT`` (trajectories
+        bit-match both endpoints); intermediate values trade per-rank
+        eigenbasis memory against per-iteration broadcast volume.
+        Setting this switches ``strategy`` to ``HYBRID``.
     assignment:
         ``"round_robin"`` (paper) or ``"greedy"`` (the §VI-C4 LPT policy).
     skip_layers:
@@ -135,6 +159,7 @@ class KFACHyperParams:
     kfac_update_freq: int = 10
     use_eigen_decomp: bool = True
     strategy: str = COMM_OPT
+    grad_worker_frac: float | None = None
     assignment: str = "round_robin"
     skip_layers: tuple[str, ...] = ()
     async_comm: bool = False
@@ -155,7 +180,21 @@ class KFACHyperParams:
             raise ValueError(f"factor_decay must be in [0,1), got {self.factor_decay}")
         if self.fac_update_freq < 1 or self.kfac_update_freq < 1:
             raise ValueError("update frequencies must be >= 1")
-        if self.strategy not in (COMM_OPT, LAYER_WISE):
+        if self.grad_worker_frac is not None:
+            if not 0.0 < self.grad_worker_frac <= 1.0:
+                raise ValueError(
+                    f"grad_worker_frac must be in (0, 1], got {self.grad_worker_frac}"
+                )
+            if self.strategy == LAYER_WISE:
+                raise ValueError(
+                    "grad_worker_frac generalizes the placement spectrum; "
+                    "LAYER_WISE is its f=1/P endpoint — drop strategy= and "
+                    "pick the fraction instead"
+                )
+            self.strategy = HYBRID
+        elif self.strategy == HYBRID:
+            raise ValueError("strategy=HYBRID requires grad_worker_frac to be set")
+        if self.strategy not in (COMM_OPT, LAYER_WISE, HYBRID):
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if self.assignment not in ("round_robin", "greedy"):
             raise ValueError(f"unknown assignment {self.assignment!r}")
@@ -181,6 +220,22 @@ class KFAC:
         This replica's position in the (simulated) worker world.
     hyper:
         Hyper-parameters; keyword overrides are also accepted.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.preconditioner import KFAC
+    >>> from repro.nn import Linear, ReLU, Sequential
+    >>> from repro.nn.loss import CrossEntropyLoss
+    >>> model = Sequential(Linear(4, 8), ReLU(), Linear(8, 3))
+    >>> kfac = KFAC(model, kfac_update_freq=1, damping=0.01)
+    >>> loss_fn = CrossEntropyLoss()
+    >>> x = np.random.default_rng(0).normal(size=(8, 4)).astype(np.float32)
+    >>> _ = loss_fn(model(x), np.arange(8) % 3)
+    >>> _ = model.backward(loss_fn.backward())
+    >>> kfac.step()                   # rewrites every param.grad in place
+    >>> kfac.steps, kfac.n_second_order_updates
+    (1, 1)
     """
 
     def __init__(
@@ -249,6 +304,25 @@ class KFAC:
         self._layer_assignment: dict[str, int] = layer_wise_assignment(
             [l.name for l in self.layers], world_size
         )
+        #: gradient-worker placement (HYBRID strategy only): per-layer
+        #: groups, broadcast roots, and the within-group factor assignment
+        self._placement: GroupPlacement | None = None
+        self._group_metas: list[tuple[tuple[int, ...], list[FactorMeta]]] = []
+        self._bcast_plan: list[tuple[int, list[KFACLayer], tuple[int, ...]]] = []
+        if base.strategy == HYBRID:
+            assert base.grad_worker_frac is not None
+            self._placement = build_group_placement(
+                self._factor_metas,
+                world_size,
+                base.grad_worker_frac,
+                policy=base.assignment,
+            )
+            self._factor_assignment = dict(self._placement.assignment)
+            # the placement is immutable, so the per-step structures —
+            # factor metas bucketed by group, and the fused (root,
+            # participants) broadcast plan — are built once here
+            self._group_metas = self._build_group_metas()
+            self._bcast_plan = self._build_broadcast_plan()
         # instrumentation counters
         self.n_factor_updates = 0
         self.n_second_order_updates = 0
@@ -312,6 +386,20 @@ class KFAC:
         """factor key -> owning worker."""
         return dict(self._factor_assignment)
 
+    @property
+    def grad_worker_placement(self) -> GroupPlacement | None:
+        """Gradient-worker placement metadata (``HYBRID`` strategy only)."""
+        return self._placement
+
+    @property
+    def grad_worker_count(self) -> int:
+        """Ranks holding each layer's eigenbasis (P for COMM_OPT, 1 for LW)."""
+        if self._placement is not None:
+            return self._placement.group_size
+        if self.hp.strategy == LAYER_WISE:
+            return 1
+        return self.world_size
+
     # ------------------------------------------------------------------
     # the Algorithm 1 step (generator)
     # ------------------------------------------------------------------
@@ -334,14 +422,18 @@ class KFAC:
         pipelined = (
             self.hp.async_comm
             and self.world_size > 1
-            and self.hp.strategy == COMM_OPT
+            and self.hp.strategy in (COMM_OPT, HYBRID)
             and update_factors
             and update_second_order
         )
         if pipelined:
             # SPD-KFAC-style pipeline: bucketed async factor allreduce
-            # overlapped with local eigendecompositions + chunked allgather.
-            yield from self._pipelined_update_comm_opt()
+            # overlapped with local eigendecompositions + chunked allgather
+            # (COMM_OPT) or group eigenbasis shares (HYBRID).
+            if self.hp.strategy == HYBRID:
+                yield from self._pipelined_update_hybrid()
+            else:
+                yield from self._pipelined_update_comm_opt()
             self.n_second_order_updates += 1
         else:
             if update_factors and self.world_size > 1:
@@ -370,12 +462,16 @@ class KFAC:
             if update_second_order:
                 if self.hp.strategy == COMM_OPT:
                     yield from self._update_second_order_comm_opt()
+                elif self.hp.strategy == HYBRID:
+                    yield from self._update_second_order_hybrid()
                 else:
                     self._update_second_order_layer_wise()
                 self.n_second_order_updates += 1
 
         if self.hp.strategy == COMM_OPT:
             self._precondition_all_local()
+        elif self.hp.strategy == HYBRID:
+            yield from self._precondition_hybrid()
         else:
             yield from self._precondition_layer_wise()
 
@@ -396,31 +492,33 @@ class KFAC:
             for meta, t in zip(self._factor_metas, tensors)
         ]
 
-    # -- pipelined COMM_OPT factor + second-order update -------------------
-    def _pipelined_update_comm_opt(self) -> Generator[Any, Any, None]:
-        """Bucketed factor allreduce overlapped with eigendecompositions.
+    # -- pipelined factor exchange (shared by COMM_OPT and HYBRID) ---------
+    def _pipelined_factor_exchange(
+        self,
+        on_bucket: "Any",
+    ) -> Generator[Any, Any, tuple[list[list[FactorMeta]], float]]:
+        """Bucketed async factor allreduce, overlapped with per-bucket work.
 
         The factor list (A's then G's, communication order) is split into
-        buckets of at most ``bucket_bytes``.  While bucket ``b+1``'s
-        allreduce is in flight, this rank installs bucket ``b``'s reduced
-        factors, decomposes the ones it owns, and launches the chunked
-        allgather of those decompositions — so factor communication hides
-        behind second-order compute and only the install point blocks.
+        buckets of at most ``bucket_bytes`` — partitioned by *wire* bytes,
+        so triangular packing and compressed transport set the pipeline
+        depth.  While bucket ``b+1``'s allreduce is in flight, this rank
+        installs bucket ``b``'s reduced factors and then runs
+        ``on_bucket(b, bucket_metas, transport_dtype)``, which performs
+        this rank's second-order work for the bucket and returns
+        ``(compute_seconds, launches)``: simulated seconds to credit as
+        overlap against the next wait, plus any collectives to launch now
+        (COMM_OPT's chunked eigendecomposition allgathers).  Returns the
+        per-bucket meta lists and the trailing un-credited compute.
         Numerically identical to the synchronous path (same reductions,
-        same decompositions, different interleaving).  With
-        ``symmetric_comm`` the buckets carry packed upper triangles, so the
-        partition — and therefore the pipeline depth — follows the halved
-        payload.
+        same decompositions, different interleaving).
         """
-        eigen = self.hp.use_eigen_decomp
         symmetric = self.hp.symmetric_comm
         codec = get_codec(self.hp.comm_dtype)
         factors = [l.A for l in self.layers] + [l.G for l in self.layers]
         metas = self._factor_metas  # same order as ``factors``
         tensors = pack_symmetric(factors) if symmetric else factors
         tensors = self._compress_factor_tensors(tensors)
-        # partition by *wire* bytes: under compressed transport the halved
-        # payload (again on top of triangular packing) sets pipeline depth
         buckets = partition_buckets(
             [wire_nbytes(t, codec) for t in tensors], self.hp.bucket_bytes
         )
@@ -438,6 +536,7 @@ class KFAC:
             comm_dtype=self.hp.comm_dtype,
         )
         pending_compute = 0.0
+        bucket_metas: list[list[FactorMeta]] = [[metas[i] for i in b] for b in buckets]
         for b, bucket in enumerate(buckets):
             reduced = yield WaitRequest(tag=f"fac:{b}", compute_seconds=pending_compute)
             pending_compute = 0.0
@@ -458,34 +557,46 @@ class KFAC:
                     tag=f"fac:{b + 1}",
                     comm_dtype=self.hp.comm_dtype,
                 )
-            # decompose this rank's share of the just-reduced bucket while
-            # the next bucket's allreduce is in flight
-            payload: list[np.ndarray] = []
-            dims: list[int] = []
-            for idx in bucket:
-                meta = metas[idx]
-                if self._factor_assignment[meta.key] != self.rank:
-                    continue
-                layer = self._layer_by_name(meta.layer)
-                factor = layer.A if meta.kind == "A" else layer.G
-                assert factor is not None, "second-order update before factor update"
-                if eigen:
-                    eig = eigendecompose(factor)
-                    payload.extend([eig.Q, eig.lam])
-                else:
-                    payload.append(explicit_damped_inverse(factor, self.damping))
-                dims.append(meta.dim)
-                self.n_eigs_computed_locally += 1
-            pending_compute += estimate_second_order_seconds(dims, eigen)
-            yield AllGatherLaunch(
+            # this rank's second-order work for the just-reduced bucket runs
+            # while the next bucket's allreduce is in flight
+            compute_seconds, launches = on_bucket(b, bucket_metas[b], transport_dtype)
+            pending_compute += compute_seconds
+            for launch in launches:
+                yield launch
+        return bucket_metas, pending_compute
+
+    # -- pipelined COMM_OPT factor + second-order update -------------------
+    def _pipelined_update_comm_opt(self) -> Generator[Any, Any, None]:
+        """Bucketed factor allreduce overlapped with eigendecompositions.
+
+        While bucket ``b+1``'s allreduce is in flight, this rank
+        decomposes the bucket-``b`` factors it owns and launches the
+        chunked allgather of those decompositions — so factor
+        communication hides behind second-order compute and only the
+        install points block.
+        """
+        eigen = self.hp.use_eigen_decomp
+
+        def on_bucket(
+            b: int, bucket_metas: list[FactorMeta], transport_dtype: np.dtype
+        ) -> tuple[float, list[Any]]:
+            computed = self._compute_owned_second_order(bucket_metas)
+            payload = [arr for meta in bucket_metas for arr in computed.get(meta.key, [])]
+            dims = [m.dim for m in bucket_metas if m.key in computed]
+            launch = AllGatherLaunch(
                 tensor=pack_arrays(payload, dtype=transport_dtype),
                 phase="eig_comm",
                 tag=f"eig:{b}",
             )
-        for b, bucket in enumerate(buckets):
+            return estimate_second_order_seconds(dims, eigen), [launch]
+
+        bucket_metas, pending_compute = yield from self._pipelined_factor_exchange(
+            on_bucket
+        )
+        for b, metas in enumerate(bucket_metas):
             gathered = yield WaitRequest(tag=f"eig:{b}", compute_seconds=pending_compute)
             pending_compute = 0.0
-            self._install_second_order_chunk(gathered, [metas[i] for i in bucket])
+            self._install_second_order_chunk(gathered, metas)
 
     def _install_second_order_chunk(
         self, gathered: Sequence[np.ndarray], chunk_metas: Sequence[FactorMeta]
@@ -581,6 +692,181 @@ class KFAC:
             else:
                 layer.inv_A, layer.inv_G = layer.compute_inverses(self.damping)
                 self.n_eigs_computed_locally += 2
+
+    # -- HYBRID (grad_worker_frac) second-order update ----------------------
+    def _compute_owned_second_order(
+        self, metas: Sequence[FactorMeta]
+    ) -> dict[str, list[np.ndarray]]:
+        """Eigendecompose/invert this rank's share of ``metas``; key by factor."""
+        payloads: dict[str, list[np.ndarray]] = {}
+        for meta in metas:
+            if self._factor_assignment[meta.key] != self.rank:
+                continue
+            layer = self._layer_by_name(meta.layer)
+            factor = layer.A if meta.kind == "A" else layer.G
+            assert factor is not None, "second-order update before factor update"
+            if self.hp.use_eigen_decomp:
+                eig = eigendecompose(factor)
+                payloads[meta.key] = [eig.Q, eig.lam]
+            else:
+                payloads[meta.key] = [explicit_damped_inverse(factor, self.damping)]
+            self.n_eigs_computed_locally += 1
+        return payloads
+
+    def _install_factor_state(self, meta: FactorMeta, arrays: Sequence[np.ndarray]) -> None:
+        """Install one factor's second-order payload into its layer."""
+        layer = self._layer_by_name(meta.layer)
+        if self.hp.use_eigen_decomp:
+            eig = FactorEig(Q=arrays[0], lam=arrays[1])
+            if meta.kind == "A":
+                layer.eig_A = eig
+            else:
+                layer.eig_G = eig
+        else:
+            if meta.kind == "A":
+                layer.inv_A = arrays[0]
+            else:
+                layer.inv_G = arrays[0]
+
+    def _build_group_metas(self) -> list[tuple[tuple[int, ...], list[FactorMeta]]]:
+        """Factor metas bucketed by gradient-worker group (stable order)."""
+        assert self._placement is not None
+        grouped: dict[tuple[int, ...], list[FactorMeta]] = {}
+        for meta in self._factor_metas:
+            grouped.setdefault(self._placement.groups[meta.layer], []).append(meta)
+        return list(grouped.items())
+
+    def _update_second_order_hybrid(self) -> Generator[Any, Any, None]:
+        """Each rank decomposes its owned factors, then groups share them."""
+        computed = self._compute_owned_second_order(self._factor_metas)
+        yield from self._share_second_order_hybrid(computed)
+
+    def _share_second_order_hybrid(
+        self, computed: dict[str, list[np.ndarray]]
+    ) -> Generator[Any, Any, None]:
+        """Share decompositions *within* each gradient-worker group.
+
+        One group allgather per distinct group — a ``g``-rank collective
+        instead of COMM_OPT's world allgather.  Singleton groups (the
+        LAYER_WISE endpoint) install locally with no communication; the
+        whole-world group (the COMM_OPT endpoint) degenerates to one
+        world-sized gather.  Ranks outside a group neither contribute nor
+        receive: they will get only the final preconditioned gradient.
+        """
+        for grp, metas in self._group_metas:
+            member_metas = {
+                r: [m for m in metas if self._factor_assignment[m.key] == r]
+                for r in grp
+            }
+            in_group = self.rank in grp
+            if len(grp) == 1:
+                if in_group:
+                    for meta in member_metas[self.rank]:
+                        self._install_factor_state(meta, computed[meta.key])
+                continue
+            flat: np.ndarray | None = None
+            if in_group:
+                mine = [a for m in member_metas[self.rank] for a in computed[m.key]]
+                flat = pack_arrays(mine)
+            gathered = yield GroupAllGatherRequest(
+                tensor=flat, ranks=grp, phase="eig_comm"
+            )
+            if not in_group:
+                continue
+            for r, buf in zip(grp, gathered):
+                shapes: list[tuple[int, ...]] = []
+                for meta in member_metas[r]:
+                    if self.hp.use_eigen_decomp:
+                        shapes.extend([(meta.dim, meta.dim), (meta.dim,)])
+                    else:
+                        shapes.append((meta.dim, meta.dim))
+                arrays = unpack_arrays(buf, shapes)
+                idx = 0
+                for meta in member_metas[r]:
+                    step = 2 if self.hp.use_eigen_decomp else 1
+                    self._install_factor_state(meta, arrays[idx : idx + step])
+                    idx += step
+
+    def _pipelined_update_hybrid(self) -> Generator[Any, Any, None]:
+        """Bucketed factor allreduce overlapped with owned decompositions.
+
+        Same launch/wait pipeline as :meth:`_pipelined_update_comm_opt`
+        for the factor stage — bucket ``b+1``'s allreduce hides behind
+        decomposing bucket ``b``'s owned factors — but the second-order
+        exchange that follows is the HYBRID group share, not a world
+        allgather.  Composes with ``symmetric_comm`` tri-packing and
+        ``comm_dtype`` codecs exactly like the COMM_OPT pipeline.
+        """
+        eigen = self.hp.use_eigen_decomp
+        computed: dict[str, list[np.ndarray]] = {}
+
+        def on_bucket(
+            b: int, bucket_metas: list[FactorMeta], transport_dtype: np.dtype
+        ) -> tuple[float, list[Any]]:
+            fresh = self._compute_owned_second_order(bucket_metas)
+            computed.update(fresh)
+            dims = [m.dim for m in bucket_metas if m.key in fresh]
+            return estimate_second_order_seconds(dims, eigen), []
+
+        # trailing bucket's decompositions have no later wait to credit
+        # against; the group share below is synchronous by design
+        yield from self._pipelined_factor_exchange(on_bucket)
+        yield from self._share_second_order_hybrid(computed)
+
+    # -- HYBRID preconditioning: local for grad workers, broadcast out ------
+    def _build_broadcast_plan(self) -> list[tuple[int, list[KFACLayer], tuple[int, ...]]]:
+        """Fuse per-layer grad broadcasts by (root, participant set).
+
+        With contiguous groups every layer owned by root ``r`` shares the
+        same non-member set, so the second stage is at most P broadcasts
+        of fused per-root payloads — each spanning ``P - g + 1`` ranks.
+        """
+        assert self._placement is not None
+        plan: dict[tuple[int, tuple[int, ...]], list[KFACLayer]] = {}
+        for layer in self.layers:
+            grp = self._placement.groups[layer.name]
+            if len(grp) >= self.world_size:
+                continue  # everyone is a grad worker: nothing to broadcast
+            root = grp[0]
+            participants = (root,) + tuple(
+                r for r in range(self.world_size) if r not in grp
+            )
+            plan.setdefault((root, participants), []).append(layer)
+        return [(root, layers, ranks) for (root, ranks), layers in plan.items()]
+
+    def _precondition_hybrid(self) -> Generator[Any, Any, None]:
+        """Grad workers precondition locally; the root broadcasts the rest.
+
+        Stage 1: every rank preconditions the layers whose gradient-worker
+        group it belongs to (all of them at ``f = 1``, its owned shard at
+        ``f = 1/P``).  Stage 2: for each group smaller than the world, the
+        group root broadcasts the fused preconditioned gradients to the
+        ranks outside the group.  Eq. 18 clipping then runs on the full
+        per-layer set, identically on every rank.
+        """
+        raw = [layer.get_grad_matrix() for layer in self.layers]
+        assert self._placement is not None
+        pre: dict[str, np.ndarray] = {}
+        for layer, g in zip(self.layers, raw):
+            if self._placement.is_grad_worker(self.rank, layer.name):
+                pre[layer.name] = layer.precondition(
+                    g, self.damping, self.hp.use_eigen_decomp
+                )
+        for root, layers_r, participants in self._bcast_plan:
+            payload: np.ndarray | None = None
+            if self.rank == root:
+                payload = pack_arrays([pre[l.name] for l in layers_r])
+            got = yield GroupBroadcastRequest(
+                tensor=payload, root=root, ranks=participants, phase="precond_comm"
+            )
+            if got is not None and self.rank != root:
+                shapes = [(l.g_dim, l.a_dim) for l in layers_r]
+                for l, arr in zip(layers_r, unpack_arrays(got, shapes)):
+                    pre[l.name] = arr
+        pre_list = [pre[layer.name] for layer in self.layers]
+        nu = kl_clip_factor(pre_list, raw, self.lr, self.hp.kl_clip)
+        for layer, p in zip(self.layers, pre_list):
+            layer.set_grad_matrix(nu * p)
 
     # -- preconditioning ------------------------------------------------
     def _precondition_all_local(self) -> None:

@@ -39,6 +39,17 @@ class KFACParamScheduler:
         ``update_freq_schedule`` epoch (``> 1`` makes K-FAC updates rarer).
     update_freq_schedule:
         Sorted epochs at which the intervals grow.
+
+    Example
+    -------
+    >>> from types import SimpleNamespace
+    >>> from repro.core.schedule import KFACParamScheduler
+    >>> kfac = SimpleNamespace(damping=0.003, kfac_update_freq=10, fac_update_freq=1)
+    >>> sched = KFACParamScheduler(kfac, damping_alpha=0.5, damping_schedule=[2])
+    >>> sched.step(0); round(kfac.damping, 4)
+    0.003
+    >>> sched.step(2); round(kfac.damping, 4)    # halved at epoch 2
+    0.0015
     """
 
     def __init__(

@@ -14,7 +14,16 @@ __all__ = ["random_crop", "random_flip", "augment_batch"]
 def random_crop(
     x: np.ndarray, rng: np.random.Generator, padding: int = 2
 ) -> np.ndarray:
-    """Random crop after zero-padding (per-sample offsets)."""
+    """Random crop after zero-padding (per-sample offsets).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.data.augment import random_crop
+    >>> x = np.ones((2, 3, 8, 8), dtype=np.float32)
+    >>> random_crop(x, np.random.default_rng(0), padding=2).shape
+    (2, 3, 8, 8)
+    """
     if x.ndim != 4:
         raise ValueError(f"expected NCHW batch, got {x.shape}")
     n, c, h, w = x.shape
@@ -28,7 +37,17 @@ def random_crop(
 
 
 def random_flip(x: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
-    """Horizontal flip with probability ``p`` per sample."""
+    """Horizontal flip with probability ``p`` per sample.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.data.augment import random_flip
+    >>> x = np.arange(8, dtype=np.float32).reshape(1, 1, 2, 4)
+    >>> flipped = random_flip(x, np.random.default_rng(0), p=1.0)
+    >>> flipped[0, 0, 0].tolist()         # each row reversed
+    [3.0, 2.0, 1.0, 0.0]
+    """
     if x.ndim != 4:
         raise ValueError(f"expected NCHW batch, got {x.shape}")
     flip = rng.random(len(x)) < p

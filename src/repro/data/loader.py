@@ -16,7 +16,16 @@ def batch_iterator(
     batch_size: int,
     drop_last: bool = False,
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-    """Yield ``(x_batch, y_batch)`` over ``indices`` in order."""
+    """Yield ``(x_batch, y_batch)`` over ``indices`` in order.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.data.loader import batch_iterator
+    >>> x, y = np.arange(10), np.arange(10) % 2
+    >>> [len(bx) for bx, _ in batch_iterator(x, y, np.arange(10), 4)]
+    [4, 4, 2]
+    """
     if len(x) != len(y):
         raise ValueError(f"x/y length mismatch: {len(x)} vs {len(y)}")
     if batch_size < 1:
@@ -30,7 +39,19 @@ def batch_iterator(
 
 
 class DataLoader:
-    """Shuffling batch loader with deterministic per-epoch order."""
+    """Shuffling batch loader with deterministic per-epoch order.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.data.loader import DataLoader
+    >>> loader = DataLoader(np.arange(8), np.arange(8), batch_size=4, seed=0)
+    >>> loader.set_epoch(0)
+    >>> len(loader)                       # batches per epoch
+    2
+    >>> sorted(int(v) for bx, _ in loader for v in bx)   # a permutation
+    [0, 1, 2, 3, 4, 5, 6, 7]
+    """
 
     def __init__(
         self,

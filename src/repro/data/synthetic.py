@@ -61,6 +61,13 @@ class SyntheticSpec:
         Requires an even ``num_classes``.
     seed:
         Root seed.
+
+    Example
+    -------
+    >>> from repro.data.synthetic import SyntheticSpec
+    >>> spec = SyntheticSpec(n_train=64, n_val=16, num_classes=4, image_size=8)
+    >>> spec.num_classes, spec.image_size
+    (4, 8)
     """
 
     n_train: int = 2000
@@ -86,7 +93,17 @@ class SyntheticSpec:
 
 
 class SyntheticImageDataset:
-    """Materialized synthetic dataset with train/val splits."""
+    """Materialized synthetic dataset with train/val splits.
+
+    Example
+    -------
+    >>> from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+    >>> ds = SyntheticImageDataset(
+    ...     SyntheticSpec(n_train=32, n_val=8, num_classes=4, image_size=8)
+    ... )
+    >>> ds.train_x.shape, ds.val_y.shape
+    ((32, 3, 8, 8), (8,))
+    """
 
     def __init__(self, spec: SyntheticSpec) -> None:
         self.spec = spec
@@ -159,7 +176,15 @@ def cifar10_like(
     seed: int = 0,
     **kw: object,
 ) -> SyntheticImageDataset:
-    """CIFAR-10 stand-in: 10 classes, 3 channels (default 16x16 for CPU)."""
+    """CIFAR-10 stand-in: 10 classes, 3 channels (default 16x16 for CPU).
+
+    Example
+    -------
+    >>> from repro.data.synthetic import cifar10_like
+    >>> ds = cifar10_like(n_train=50, n_val=10, image_size=8)
+    >>> ds.train_x.shape
+    (50, 3, 8, 8)
+    """
     return SyntheticImageDataset(
         SyntheticSpec(
             n_train=n_train, n_val=n_val, num_classes=10, image_size=image_size,
@@ -176,7 +201,15 @@ def imagenet_like(
     seed: int = 0,
     **kw: object,
 ) -> SyntheticImageDataset:
-    """ImageNet-1k stand-in, scaled (more classes, larger images, noisier)."""
+    """ImageNet-1k stand-in, scaled (more classes, larger images, noisier).
+
+    Example
+    -------
+    >>> from repro.data.synthetic import imagenet_like
+    >>> ds = imagenet_like(n_train=40, n_val=20, num_classes=4, image_size=8)
+    >>> int(ds.train_y.max()) < 4
+    True
+    """
     return SyntheticImageDataset(
         SyntheticSpec(
             n_train=n_train, n_val=n_val, num_classes=num_classes,

@@ -48,6 +48,12 @@ class ScalePreset:
 
     ``baseline_accuracy`` plays the role of the paper's acceptance
     threshold (92.49% for CIFAR ResNet, 75.9% MLPerf for ImageNet).
+
+    Example
+    -------
+    >>> from repro.experiments.common import SCALE_PRESETS
+    >>> SCALE_PRESETS["tiny"].n_train < SCALE_PRESETS["small"].n_train
+    True
     """
 
     name: str
@@ -92,7 +98,17 @@ SCALE_PRESETS: dict[str, ScalePreset] = {
 
 @dataclass
 class ExperimentResult:
-    """Rendered output + raw data of one experiment."""
+    """Rendered output + raw data of one experiment.
+
+    Example
+    -------
+    >>> from repro.experiments.common import ExperimentResult
+    >>> result = ExperimentResult("table-5", "time profile")
+    >>> result.add("row 1")
+    >>> print(result.render())
+    === table-5: time profile ===
+    row 1
+    """
 
     experiment_id: str
     title: str
@@ -110,7 +126,15 @@ class ExperimentResult:
 def make_paired_task(
     preset: ScalePreset, seed: int = 7, **overrides: object
 ) -> SyntheticImageDataset:
-    """The standard fine-grained paired-class task for a preset."""
+    """The standard fine-grained paired-class task for a preset.
+
+    Example
+    -------
+    >>> from repro.experiments.common import SCALE_PRESETS, make_paired_task
+    >>> ds = make_paired_task(SCALE_PRESETS["tiny"])
+    >>> len(ds.train_x) == SCALE_PRESETS["tiny"].n_train
+    True
+    """
     spec = SyntheticSpec(
         n_train=preset.n_train,
         n_val=preset.n_val,
@@ -130,7 +154,17 @@ def make_paired_task(
 
 
 def make_model_factory(preset: ScalePreset, num_classes: int = 10) -> Callable[[np.random.Generator], Module]:
-    """Width-scaled CIFAR ResNet-20 factory for the preset."""
+    """Width-scaled CIFAR ResNet-20 factory for the preset.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.experiments.common import SCALE_PRESETS, make_model_factory
+    >>> factory = make_model_factory(SCALE_PRESETS["tiny"])
+    >>> model = factory(np.random.default_rng(0))
+    >>> type(model).__name__
+    'ResNet'
+    """
 
     def factory(rng: np.random.Generator) -> Module:
         return resnet20_cifar(

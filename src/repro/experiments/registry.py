@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.experiments.ablations import run_factor_comm_ablation, run_placement_ablation
+from repro.experiments.ablations import (
+    run_factor_comm_ablation,
+    run_grad_worker_frac_sweep,
+    run_placement_ablation,
+)
 from repro.experiments.common import ExperimentResult
 from repro.experiments.correctness import run_fig5, run_table1, run_table2_fig4
 from repro.experiments.profile_exp import run_fig10, run_table5, run_table6
@@ -26,12 +30,24 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table6": lambda **kw: run_table6(),
     "fig10": lambda **kw: run_fig10(),
     "ablation-placement": lambda **kw: run_placement_ablation(),
+    "ablation-grad-worker-frac": lambda **kw: run_grad_worker_frac_sweep(),
     "ablation-factor-comm": run_factor_comm_ablation,
 }
 
 
 def run_experiment(experiment_id: str, **kwargs: object) -> ExperimentResult:
-    """Run one experiment by id; raises ``KeyError`` for unknown ids."""
+    """Run one experiment by id; raises ``KeyError`` for unknown ids.
+
+    Example
+    -------
+    >>> from repro.experiments.registry import EXPERIMENTS, run_experiment
+    >>> "table5" in EXPERIMENTS and "ablation-grad-worker-frac" in EXPERIMENTS
+    True
+    >>> run_experiment("no-such-id")
+    Traceback (most recent call last):
+        ...
+    KeyError: "unknown experiment 'no-such-id'; known: [...]"
+    """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"

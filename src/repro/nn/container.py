@@ -16,6 +16,14 @@ class Sequential(Module):
 
     Children are invoked through ``__call__`` / ``backprop`` so that any
     hooks registered on them (e.g. by the K-FAC preconditioner) fire.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn import Linear, ReLU, Sequential
+    >>> net = Sequential(Linear(4, 8), ReLU())
+    >>> len(net), net(np.zeros((2, 4), dtype=np.float32)).shape
+    (2, (2, 8))
     """
 
     def __init__(self, *modules: Module) -> None:

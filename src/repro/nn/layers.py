@@ -42,6 +42,14 @@ class Linear(Module):
 
     Weight shape is ``(out_features, in_features)`` (PyTorch layout), so the
     K-FAC factor shapes are ``A: (in[+1], in[+1])`` and ``G: (out, out)``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.layers import Linear
+    >>> layer = Linear(3, 2, rng=np.random.default_rng(0))
+    >>> layer(np.ones((4, 3), dtype=np.float32)).shape
+    (4, 2)
     """
 
     def __init__(
@@ -99,6 +107,14 @@ class Conv2d(Module):
     hook that :meth:`claim_patches`-ed it folds it into the ``A`` factor.
     Steady-state training therefore re-lowers into the same buffer every
     iteration instead of allocating a fresh one.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.layers import Conv2d
+    >>> conv = Conv2d(3, 8, 3, padding=1, rng=np.random.default_rng(0))
+    >>> conv(np.zeros((2, 3, 8, 8), dtype=np.float32)).shape
+    (2, 8, 8, 8)
     """
 
     def __init__(
@@ -226,6 +242,15 @@ class BatchNorm2d(Module):
     trained with the wrapped first-order optimizer.  Running statistics stay
     rank-local (the paper does not use distributed/sync BN — that is called
     out in §III-A as a hardware-specific technique they avoid).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.layers import BatchNorm2d
+    >>> bn = BatchNorm2d(4)
+    >>> y = bn(np.random.default_rng(0).normal(size=(8, 4, 2, 2)))
+    >>> bool(abs(y.mean()) < 1e-6)        # normalized per channel
+    True
     """
 
     def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
@@ -280,7 +305,15 @@ class BatchNorm2d(Module):
 
 
 class ReLU(Module):
-    """Rectified linear unit."""
+    """Rectified linear unit.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.layers import ReLU
+    >>> ReLU()(np.array([-1.0, 2.0], dtype=np.float32)).tolist()
+    [0.0, 2.0]
+    """
 
     def __init__(self) -> None:
         super().__init__()
@@ -296,7 +329,16 @@ class ReLU(Module):
 
 
 class MaxPool2d(Module):
-    """Max pooling (general kernel/stride/padding, via per-channel im2col)."""
+    """Max pooling (general kernel/stride/padding, via per-channel im2col).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.layers import MaxPool2d
+    >>> x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    >>> MaxPool2d(2, 2)(x)[0, 0].tolist()
+    [[5.0, 7.0], [13.0, 15.0]]
+    """
 
     def __init__(
         self,
@@ -349,7 +391,16 @@ class MaxPool2d(Module):
 
 
 class AvgPool2d(Module):
-    """Average pooling."""
+    """Average pooling.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.layers import AvgPool2d
+    >>> x = np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2)
+    >>> AvgPool2d(2, 2)(x)[0, 0].tolist()
+    [[1.5]]
+    """
 
     def __init__(
         self,
@@ -386,7 +437,15 @@ class AvgPool2d(Module):
 
 
 class GlobalAvgPool2d(Module):
-    """Mean over the spatial dimensions: (N, C, H, W) -> (N, C)."""
+    """Mean over the spatial dimensions: (N, C, H, W) -> (N, C).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.layers import GlobalAvgPool2d
+    >>> GlobalAvgPool2d()(np.ones((2, 3, 4, 4), dtype=np.float32)).shape
+    (2, 3)
+    """
 
     def __init__(self) -> None:
         super().__init__()
@@ -406,7 +465,15 @@ class GlobalAvgPool2d(Module):
 
 
 class Flatten(Module):
-    """(N, ...) -> (N, prod(...))."""
+    """(N, ...) -> (N, prod(...)).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.layers import Flatten
+    >>> Flatten()(np.zeros((2, 3, 4, 4), dtype=np.float32)).shape
+    (2, 48)
+    """
 
     def __init__(self) -> None:
         super().__init__()
@@ -422,7 +489,16 @@ class Flatten(Module):
 
 
 class Identity(Module):
-    """Pass-through (used for parameter-free residual shortcuts)."""
+    """Pass-through (used for parameter-free residual shortcuts).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.layers import Identity
+    >>> x = np.ones(3, dtype=np.float32)
+    >>> Identity()(x) is x
+    True
+    """
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         return x

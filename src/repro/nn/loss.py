@@ -33,6 +33,17 @@ class CrossEntropyLoss:
     label_smoothing:
         Mixing factor ``eps``: the target distribution becomes
         ``(1 - eps) * onehot + eps / num_classes``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.loss import CrossEntropyLoss
+    >>> loss_fn = CrossEntropyLoss()
+    >>> logits = np.zeros((2, 4), dtype=np.float32)      # uniform predictions
+    >>> round(loss_fn(logits, np.array([0, 3])), 4)      # == log(4)
+    1.3863
+    >>> loss_fn.backward().shape                          # grad w.r.t. logits
+    (2, 4)
     """
 
     def __init__(self, label_smoothing: float = 0.0) -> None:
@@ -67,7 +78,15 @@ class CrossEntropyLoss:
 
 
 class MSELoss:
-    """Mean-squared error, mean-reduced over all elements."""
+    """Mean-squared error, mean-reduced over all elements.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.loss import MSELoss
+    >>> MSELoss()(np.array([1.0, 3.0]), np.array([1.0, 1.0]))
+    2.0
+    """
 
     def __init__(self) -> None:
         self._diff: np.ndarray | None = None

@@ -12,6 +12,14 @@ def topk_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 1) -> float:
 
     The paper reports Top-1 validation accuracy throughout (75.9% MLPerf
     baseline etc.); Top-5 is supported for completeness.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.metrics import topk_accuracy
+    >>> logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+    >>> topk_accuracy(logits, np.array([1, 1]), k=1)
+    0.5
     """
     if logits.ndim != 2:
         raise ValueError(f"expected (N, C) logits, got {logits.shape}")

@@ -30,7 +30,17 @@ BackwardHook = Callable[["Module", np.ndarray], None]
 
 
 class Parameter:
-    """A trainable array with an accumulated gradient."""
+    """A trainable array with an accumulated gradient.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.module import Parameter
+    >>> p = Parameter(np.zeros((2, 3)), name="weight")
+    >>> p.grad += 1.0
+    >>> p.zero_grad(); float(p.grad.sum())
+    0.0
+    """
 
     __slots__ = ("data", "grad", "name")
 
@@ -56,7 +66,18 @@ class Parameter:
 
 
 class Module:
-    """Base class for all layers and containers."""
+    """Base class for all layers and containers.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn import Linear, ReLU, Sequential
+    >>> model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+    >>> [name for name, _ in model.named_parameters()][:2]
+    ['m0.weight', 'm0.bias']
+    >>> model(np.zeros((5, 4), dtype=np.float32)).shape
+    (5, 2)
+    """
 
     def __init__(self) -> None:
         object.__setattr__(self, "_parameters", OrderedDict())

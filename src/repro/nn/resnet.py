@@ -162,6 +162,14 @@ class ResNetConfig:
         CPU-trainable variants with identical topology.
     name:
         Human-readable variant name.
+
+    Example
+    -------
+    >>> from repro.nn.resnet import ResNetConfig
+    >>> cfg = ResNetConfig(block="basic", stage_blocks=(3, 3, 3),
+    ...                    stage_widths=(16, 32, 64), stem="cifar")
+    >>> cfg.expansion, cfg.scaled_widths()
+    (1, (16, 32, 64))
     """
 
     block: str
@@ -245,7 +253,18 @@ class ResNet(Module):
 
 
 def build_resnet(config: ResNetConfig, rng: np.random.Generator | None = None) -> ResNet:
-    """Build a ResNet from an explicit config."""
+    """Build a ResNet from an explicit config.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.resnet import ResNetConfig, build_resnet
+    >>> cfg = ResNetConfig(block="basic", stage_blocks=(1, 1), num_classes=4,
+    ...                    stage_widths=(4, 8), stem="cifar", name="tiny")
+    >>> model = build_resnet(cfg, np.random.default_rng(0))
+    >>> model(np.zeros((2, 3, 8, 8), dtype=np.float32)).shape
+    (2, 4)
+    """
     return ResNet(config, rng)
 
 
@@ -266,12 +285,27 @@ def _cifar_config(depth: int, **kw: object) -> ResNetConfig:
 
 
 def resnet20_cifar(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
-    """CIFAR ResNet-20 (n=3)."""
+    """CIFAR ResNet-20 (n=3).
+
+    Example
+    -------
+    >>> from repro.nn.resnet import resnet20_cifar
+    >>> model = resnet20_cifar(width_multiplier=0.25)
+    >>> model.config.stage_blocks             # 3 stages of n=3 basic blocks
+    (3, 3, 3)
+    """
     return ResNet(_cifar_config(20, **kw), rng)
 
 
 def resnet32_cifar(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
-    """CIFAR ResNet-32 (n=5) — the paper's correctness-study model."""
+    """CIFAR ResNet-32 (n=5) — the paper's correctness-study model.
+
+    Example
+    -------
+    >>> from repro.nn.resnet import resnet32_cifar
+    >>> resnet32_cifar(width_multiplier=0.25).config.stage_blocks
+    (5, 5, 5)
+    """
     return ResNet(_cifar_config(32, **kw), rng)
 
 
@@ -290,20 +324,49 @@ def _imagenet_config(depth: int, **kw: object) -> ResNetConfig:
 
 
 def resnet34(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
-    """ImageNet ResNet-34 (basic blocks)."""
+    """ImageNet ResNet-34 (basic blocks).
+
+    Example
+    -------
+    >>> from repro.nn.resnet import resnet34
+    >>> resnet34(width_multiplier=0.0625).config.stage_blocks
+    (3, 4, 6, 3)
+    """
     return ResNet(_imagenet_config(34, **kw), rng)
 
 
 def resnet50(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
-    """ImageNet ResNet-50 (bottleneck)."""
+    """ImageNet ResNet-50 (bottleneck).
+
+    Example
+    -------
+    >>> from repro.nn.resnet import resnet50
+    >>> model = resnet50(width_multiplier=0.0625)   # narrow, same topology
+    >>> model.config.block, model.config.num_classes
+    ('bottleneck', 1000)
+    """
     return ResNet(_imagenet_config(50, **kw), rng)
 
 
 def resnet101(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
-    """ImageNet ResNet-101 (bottleneck)."""
+    """ImageNet ResNet-101 (bottleneck).
+
+    Example
+    -------
+    >>> from repro.nn.resnet import resnet101
+    >>> resnet101(width_multiplier=0.0625).config.stage_blocks
+    (3, 4, 23, 3)
+    """
     return ResNet(_imagenet_config(101, **kw), rng)
 
 
 def resnet152(rng: np.random.Generator | None = None, **kw: object) -> ResNet:
-    """ImageNet ResNet-152 (bottleneck)."""
+    """ImageNet ResNet-152 (bottleneck).
+
+    Example
+    -------
+    >>> from repro.nn.resnet import resnet152
+    >>> resnet152(width_multiplier=0.0625).config.stage_blocks
+    (3, 8, 36, 3)
+    """
     return ResNet(_imagenet_config(152, **kw), rng)

@@ -14,7 +14,20 @@ __all__ = ["Adam"]
 
 
 class Adam(Optimizer):
-    """Adam with bias-corrected first/second moments and optional weight decay."""
+    """Adam with bias-corrected first/second moments and optional weight decay.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.module import Parameter
+    >>> from repro.optim.adam import Adam
+    >>> p = Parameter(np.zeros(1))
+    >>> opt = Adam([p], lr=0.1)
+    >>> p.grad[...] = 1.0
+    >>> opt.step()
+    >>> round(float(p.data[0]), 6)        # first step ~= -lr
+    -0.1
+    """
 
     def __init__(
         self,

@@ -14,6 +14,19 @@ class Optimizer:
 
     Subclasses implement :meth:`step`.  The learning rate is a plain
     attribute so LR schedules (and the trainer) can set it per iteration.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.module import Parameter
+    >>> from repro.optim import SGD
+    >>> p = Parameter(np.ones(2))
+    >>> opt = SGD([p], lr=0.5)      # any Optimizer subclass
+    >>> p.grad[...] = 1.0
+    >>> opt.step(); p.data.tolist()
+    [0.5, 0.5]
+    >>> opt.zero_grad(); float(p.grad.sum())
+    0.0
     """
 
     def __init__(self, params: Iterable[Parameter], lr: float) -> None:

@@ -21,7 +21,23 @@ __all__ = ["LARS"]
 
 
 class LARS(Optimizer):
-    """LARS with momentum; parameters with ~zero norm fall back to plain SGD."""
+    """LARS with momentum; parameters with ~zero norm fall back to plain SGD.
+
+    The layer-wise adaptive rate the paper pairs with K-FAC for large
+    global batch sizes (§V-C cites You et al.'s LARS recipe).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.module import Parameter
+    >>> from repro.optim.lars import LARS
+    >>> p = Parameter(np.full(4, 2.0))
+    >>> opt = LARS([p], lr=0.1, momentum=0.0, trust_coefficient=0.01)
+    >>> p.grad[...] = 1.0
+    >>> opt.step()
+    >>> bool(p.data[0] < 2.0)             # scaled by ||w|| / ||g||
+    True
+    """
 
     def __init__(
         self,

@@ -26,14 +26,29 @@ __all__ = [
 
 
 class LRSchedule:
-    """Base: callable mapping fractional epoch -> learning rate."""
+    """Base: callable mapping fractional epoch -> learning rate.
+
+    Example
+    -------
+    >>> from repro.optim import ConstantSchedule, LRSchedule
+    >>> schedule: LRSchedule = ConstantSchedule(0.1)
+    >>> schedule(3.5)
+    0.1
+    """
 
     def __call__(self, epoch: float) -> float:
         raise NotImplementedError
 
 
 class ConstantSchedule(LRSchedule):
-    """Always ``base_lr``."""
+    """Always ``base_lr``.
+
+    Example
+    -------
+    >>> from repro.optim.lr_scheduler import ConstantSchedule
+    >>> ConstantSchedule(0.05)(10.0)
+    0.05
+    """
 
     def __init__(self, base_lr: float) -> None:
         if base_lr <= 0:
@@ -45,7 +60,15 @@ class ConstantSchedule(LRSchedule):
 
 
 class MultiStepSchedule(LRSchedule):
-    """Multiply by ``gamma`` at each milestone epoch."""
+    """Multiply by ``gamma`` at each milestone epoch.
+
+    Example
+    -------
+    >>> from repro.optim.lr_scheduler import MultiStepSchedule
+    >>> sched = MultiStepSchedule(1.0, milestones=[2, 4], gamma=0.1)
+    >>> [sched(e) for e in (0, 2, 4)]
+    [1.0, 0.1, 0.010000000000000002]
+    """
 
     def __init__(self, base_lr: float, milestones: Sequence[float], gamma: float = 0.1) -> None:
         if base_lr <= 0:
@@ -64,7 +87,15 @@ class MultiStepSchedule(LRSchedule):
 
 
 class PolynomialSchedule(LRSchedule):
-    """Polynomial decay from ``base_lr`` to ``end_lr`` over ``total_epochs``."""
+    """Polynomial decay from ``base_lr`` to ``end_lr`` over ``total_epochs``.
+
+    Example
+    -------
+    >>> from repro.optim.lr_scheduler import PolynomialSchedule
+    >>> sched = PolynomialSchedule(1.0, total_epochs=10, power=2.0)
+    >>> sched(0.0), sched(5.0), sched(10.0)
+    (1.0, 0.25, 0.0)
+    """
 
     def __init__(
         self, base_lr: float, total_epochs: float, power: float = 2.0, end_lr: float = 0.0
@@ -87,6 +118,13 @@ class LinearWarmupSchedule(LRSchedule):
     During warmup the target is the wrapped schedule evaluated at the
     current epoch (so a decay inside the warmup window still applies —
     this matches Horovod's reference ResNet recipe).
+
+    Example
+    -------
+    >>> from repro.optim import ConstantSchedule, LinearWarmupSchedule
+    >>> sched = LinearWarmupSchedule(ConstantSchedule(1.0), warmup_epochs=5)
+    >>> round(sched(0.0), 3), round(sched(2.5), 3), sched(5.0)
+    (0.1, 0.55, 1.0)
     """
 
     def __init__(

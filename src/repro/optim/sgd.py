@@ -20,7 +20,21 @@ __all__ = ["SGD"]
 
 
 class SGD(Optimizer):
-    """SGD with momentum, weight decay, and optional Nesterov momentum."""
+    """SGD with momentum, weight decay, and optional Nesterov momentum.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.module import Parameter
+    >>> from repro.optim.sgd import SGD
+    >>> p = Parameter(np.zeros(1))
+    >>> opt = SGD([p], lr=0.1, momentum=0.9)
+    >>> for _ in range(2):
+    ...     p.grad[...] = 1.0
+    ...     opt.step()
+    >>> round(float(p.data[0]), 3)        # -0.1, then -(0.1 + 0.19)
+    -0.29
+    """
 
     def __init__(
         self,

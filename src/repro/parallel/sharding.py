@@ -21,6 +21,14 @@ def shard_indices(
 
     Deterministic in ``(seed, epoch)`` and identical across ranks modulo
     the slice taken, exactly like ``DistributedSampler.set_epoch``.
+
+    Example
+    -------
+    >>> from repro.parallel.sharding import shard_indices
+    >>> a = shard_indices(8, world_size=2, rank=0, seed=0, epoch=0)
+    >>> b = shard_indices(8, world_size=2, rank=1, seed=0, epoch=0)
+    >>> sorted(int(i) for i in [*a, *b])       # the shards tile the dataset
+    [0, 1, 2, 3, 4, 5, 6, 7]
     """
     if world_size < 1 or not 0 <= rank < world_size:
         raise ValueError(f"invalid rank/world_size {rank}/{world_size}")
@@ -42,7 +50,16 @@ def shard_indices(
 
 
 class ShardedIndexSampler:
-    """Epoch-stateful wrapper around :func:`shard_indices`."""
+    """Epoch-stateful wrapper around :func:`shard_indices`.
+
+    Example
+    -------
+    >>> from repro.parallel.sharding import ShardedIndexSampler
+    >>> sampler = ShardedIndexSampler(10, world_size=2, rank=0, seed=3)
+    >>> sampler.set_epoch(1)
+    >>> len(sampler.indices())                 # ceil(10 / 2)
+    5
+    """
 
     def __init__(
         self, n: int, world_size: int, rank: int, seed: int = 0, shuffle: bool = True

@@ -47,6 +47,15 @@ class TrainerConfig:
 
     ``batch_size`` is per-worker (the paper's ``N x 32`` / ``N x 128``
     recipes mean per-worker sizes 32 / 128).
+
+    Example
+    -------
+    >>> from repro.core.preconditioner import KFACHyperParams
+    >>> from repro.parallel.trainer import TrainerConfig
+    >>> cfg = TrainerConfig(world_size=4, batch_size=32, epochs=2,
+    ...                     kfac=KFACHyperParams(kfac_update_freq=20))
+    >>> cfg.world_size * cfg.batch_size        # global batch
+    128
     """
 
     world_size: int = 1
@@ -82,7 +91,15 @@ class TrainerConfig:
 
 @dataclass
 class EpochStats:
-    """Per-epoch record."""
+    """Per-epoch record.
+
+    Example
+    -------
+    >>> from repro.parallel.trainer import EpochStats
+    >>> EpochStats(epoch=0, train_loss=2.3, val_accuracy=0.4,
+    ...            lr=0.1, iterations=100).val_accuracy
+    0.4
+    """
 
     epoch: int
     train_loss: float
@@ -100,6 +117,15 @@ class TrainingHistory:
     by the pipelined engine (zero for fully synchronous runs).
     ``comm_bytes`` counts the true fused payload per phase — what actually
     crossed the (simulated) wire after fusion, not per-tensor bookkeeping.
+
+    Example
+    -------
+    >>> from repro.parallel.trainer import EpochStats, TrainingHistory
+    >>> history = TrainingHistory()
+    >>> history.epochs.append(EpochStats(0, 2.3, 0.25, 0.1, 10))
+    >>> history.epochs.append(EpochStats(1, 1.9, 0.50, 0.1, 10))
+    >>> history.best_val_accuracy, history.epochs_to_accuracy(0.5)
+    (0.5, 1)
     """
 
     epochs: list[EpochStats] = field(default_factory=list)
@@ -114,6 +140,12 @@ class TrainingHistory:
     precision: str = "fp32"
     amp_skipped_steps: int = 0
     final_loss_scale: float = 1.0
+    #: K-FAC placement record: the strategy the run used and — for the
+    #: KAISA-style HYBRID strategy — its gradient-worker fraction and the
+    #: resulting per-layer group size (None/0 without K-FAC)
+    kfac_strategy: str | None = None
+    grad_worker_frac: float | None = None
+    grad_worker_count: int = 0
 
     @property
     def final_val_accuracy(self) -> float:
@@ -143,7 +175,27 @@ class TrainingHistory:
 
 
 class DataParallelTrainer:
-    """Synchronous data-parallel SGD (optionally K-FAC-preconditioned)."""
+    """Synchronous data-parallel SGD (optionally K-FAC-preconditioned).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn import Linear, Sequential
+    >>> from repro.parallel.trainer import DataParallelTrainer, TrainerConfig
+    >>> rng = np.random.default_rng(0)
+    >>> x = rng.normal(size=(32, 4)).astype(np.float32)
+    >>> y = (x.sum(axis=1) > 0).astype(np.int64)
+    >>> trainer = DataParallelTrainer(
+    ...     model_factory=lambda r: Sequential(Linear(4, 2, rng=r)),
+    ...     train_x=x, train_y=y, val_x=x[:8], val_y=y[:8],
+    ...     config=TrainerConfig(world_size=2, batch_size=8, epochs=1),
+    ... )
+    >>> history = trainer.train()
+    >>> history.total_iterations
+    2
+    >>> "grad_allreduce" in history.comm_bytes
+    True
+    """
 
     def __init__(
         self,
@@ -386,4 +438,9 @@ class DataParallelTrainer:
         history.precision = self.policy.name
         history.amp_skipped_steps = self.grad_scaler.steps_skipped
         history.final_loss_scale = self.grad_scaler.scale
+        if self.kfacs is not None:
+            kfac = self.kfacs[0]
+            history.kfac_strategy = kfac.hp.strategy
+            history.grad_worker_frac = kfac.hp.grad_worker_frac
+            history.grad_worker_count = kfac.grad_worker_count
         return history

@@ -43,12 +43,29 @@ def layer_forward_flops(layer: KfacLayerSpec, batch: int) -> float:
 
 
 def model_forward_flops(model: ModelSpec, batch: int) -> float:
-    """Forward FLOPs of the whole model (BN/activations negligible)."""
+    """Forward FLOPs of the whole model (BN/activations negligible).
+
+    Example
+    -------
+    >>> from repro.perfmodel.costs import model_forward_flops
+    >>> from repro.perfmodel.specs import resnet_spec
+    >>> round(model_forward_flops(resnet_spec(50), 1) / 1e9)   # ~8 GFLOPs/img
+    8
+    """
     return sum(layer_forward_flops(l, batch) for l in model.kfac_layers)
 
 
 def model_backward_flops(model: ModelSpec, batch: int) -> float:
-    """Backward = dgrad + wgrad = 2x forward."""
+    """Backward = dgrad + wgrad = 2x forward.
+
+    Example
+    -------
+    >>> from repro.perfmodel.costs import model_backward_flops, model_forward_flops
+    >>> from repro.perfmodel.specs import resnet_spec
+    >>> spec = resnet_spec(50)
+    >>> model_backward_flops(spec, 4) == 2 * model_forward_flops(spec, 4)
+    True
+    """
     return 2.0 * model_forward_flops(model, batch)
 
 
@@ -67,7 +84,16 @@ def layer_factor_flops(layer: KfacLayerSpec, batch: int, syrk: bool = False) -> 
 
 
 def factor_flops(model: ModelSpec, batch: int, syrk: bool = False) -> float:
-    """FLOPs of the full factor-computation stage (per worker, local batch)."""
+    """FLOPs of the full factor-computation stage (per worker, local batch).
+
+    Example
+    -------
+    >>> from repro.perfmodel.costs import factor_flops
+    >>> from repro.perfmodel.specs import resnet_spec
+    >>> spec = resnet_spec(50)
+    >>> factor_flops(spec, 32, syrk=True) < factor_flops(spec, 32)
+    True
+    """
     return sum(layer_factor_flops(l, batch, syrk) for l in model.kfac_layers)
 
 
@@ -95,7 +121,14 @@ def factor_stage_bytes(model: ModelSpec, batch: int, syrk: bool = False) -> floa
 
 
 def eig_flops(dim: int, coef: float = 10.0) -> float:
-    """FLOPs of one symmetric eigendecomposition, ``coef * n^3``."""
+    """FLOPs of one symmetric eigendecomposition, ``coef * n^3``.
+
+    Example
+    -------
+    >>> from repro.perfmodel.costs import eig_flops
+    >>> eig_flops(100)
+    10000000.0
+    """
     return coef * float(dim) ** 3
 
 
@@ -110,5 +143,13 @@ def layer_precondition_flops(layer: KfacLayerSpec) -> float:
 
 
 def precondition_flops(model: ModelSpec) -> float:
-    """FLOPs to precondition every layer's gradient once."""
+    """FLOPs to precondition every layer's gradient once.
+
+    Example
+    -------
+    >>> from repro.perfmodel.costs import precondition_flops
+    >>> from repro.perfmodel.specs import resnet_spec
+    >>> precondition_flops(resnet_spec(50)) > 0
+    True
+    """
     return sum(layer_precondition_flops(l) for l in model.kfac_layers)

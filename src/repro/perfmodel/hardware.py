@@ -42,7 +42,14 @@ __all__ = ["DeviceProfile", "ClusterProfile", "V100_LIKE", "FRONTERA_LIKE"]
 
 @dataclass(frozen=True)
 class DeviceProfile:
-    """Effective single-GPU performance characteristics (FP32)."""
+    """Effective single-GPU performance characteristics (FP32).
+
+    Example
+    -------
+    >>> from repro.perfmodel.hardware import V100_LIKE
+    >>> V100_LIKE.gemm_flops > 1e12       # effective TFLOP/s scale
+    True
+    """
 
     name: str
     #: effective FLOP/s for conv/GEMM forward+backward at the reference model

@@ -24,10 +24,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.comm.costmodel import allgather_time, allreduce_time
+from repro.comm.costmodel import allgather_time, allreduce_time, scatter_broadcast_time
 from repro.comm.engine import DEFAULT_BUCKET_BYTES
 from repro.core.assignment import (
     FactorMeta,
+    build_group_placement,
+    grad_worker_count,
     greedy_balanced_assignment,
     layer_wise_assignment,
     round_robin_assignment,
@@ -67,6 +69,13 @@ class KfacIntervals:
 
     ``eig_interval`` is the paper's *K-FAC update frequency* knob; factors
     are refreshed/communicated 10x more often (§V-C).
+
+    Example
+    -------
+    >>> from repro.perfmodel.iteration import KfacIntervals
+    >>> iv = KfacIntervals.from_eig_interval(500)
+    >>> iv.eig_interval, iv.fac_interval
+    (500, 50)
     """
 
     eig_interval: int
@@ -90,6 +99,15 @@ class StageProfile:
     ``factor_comm_payload_bytes`` is the per-worker factor-allreduce wire
     payload the profile was computed with — halved under triangular
     packing (``symmetric=True``), zero when unset.
+
+    Example
+    -------
+    >>> from repro.perfmodel.iteration import StageProfile
+    >>> sp = StageProfile(factor_tcomp=0.1, factor_tcomm=0.4,
+    ...                   eig_tcomp=0.2, eig_tcomm=0.3,
+    ...                   factor_tcomm_exposed=0.1, eig_tcomm_exposed=0.3)
+    >>> round(sp.hidden_comm, 10)             # 0.3 s masked by pipelining
+    0.3
     """
 
     factor_tcomp: float
@@ -99,6 +117,15 @@ class StageProfile:
     factor_tcomm_exposed: float = -1.0
     eig_tcomm_exposed: float = -1.0
     factor_comm_payload_bytes: float = 0.0
+    #: per-iteration second-stage (preconditioned-gradient broadcast)
+    #: seconds — zero for COMM_OPT, the grad_worker_frac trade-off's cost
+    precond_tcomm: float = 0.0
+    #: per-rank eigendecomposition-state bytes a rank must hold — the
+    #: grad_worker_frac trade-off's saving (full eig payload for COMM_OPT)
+    eigenbasis_bytes_per_rank: float = 0.0
+    #: per-rank preconditioned-gradient bytes received per iteration from
+    #: group roots (zero for COMM_OPT where every rank is a grad worker)
+    precond_share_bytes_per_rank: float = 0.0
 
     def __post_init__(self) -> None:
         # default: synchronous profile, everything exposed
@@ -116,7 +143,23 @@ class StageProfile:
 
 
 class IterationModel:
-    """Stage/iteration/epoch times for one model on one cluster."""
+    """Stage/iteration/epoch times for one model on one cluster.
+
+    Example
+    -------
+    >>> from repro.perfmodel.hardware import FRONTERA_LIKE, V100_LIKE
+    >>> from repro.perfmodel.iteration import IterationModel, KfacIntervals
+    >>> from repro.perfmodel.specs import resnet_spec
+    >>> im = IterationModel(resnet_spec(50), V100_LIKE, FRONTERA_LIKE)
+    >>> iv = KfacIntervals.from_eig_interval(500)
+    >>> sgd = im.sgd_iteration_time(64)
+    >>> kfac = im.kfac_iteration_time(64, "comm-opt", iv)
+    >>> 0.0 < sgd < kfac                      # K-FAC adds amortized stages
+    True
+    >>> mem = im.eigenbasis_bytes_per_rank(64, grad_worker_frac=0.25)
+    >>> mem < im.eigenbasis_bytes_per_rank(64, grad_worker_frac=1.0)
+    True
+    """
 
     def __init__(
         self,
@@ -414,6 +457,134 @@ class IterationModel:
         return self.pipelined_comm_times(p, policy, bucket_bytes)[1]
 
     # ------------------------------------------------------------------
+    # KAISA-style gradient-worker fraction (HYBRID placement)
+    # ------------------------------------------------------------------
+    def grad_workers(self, p: int, grad_worker_frac: float) -> int:
+        """Gradient-worker group size ``max(1, round(f * p))``."""
+        return grad_worker_count(p, grad_worker_frac)
+
+    def eigenbasis_bytes_per_rank(self, p: int, grad_worker_frac: float = 1.0) -> float:
+        """Second-order state bytes one rank must hold under fraction ``f``.
+
+        A rank stores the eigenbases only of layers whose gradient-worker
+        group it belongs to — ``g/p`` of the model with contiguous
+        groups.  ``f = 1`` is the COMM_OPT memory footprint (every rank
+        holds every basis); ``f = 1/p`` the LAYER_WISE one.  Strictly
+        decreasing in the group size, hence in ``f`` along a halving
+        sweep — the memory side of the KAISA Pareto frontier.
+        """
+        if p < 1:
+            raise ValueError(f"world size must be >= 1, got {p}")
+        g = grad_worker_count(p, grad_worker_frac)
+        return self.model.eig_bytes * g / p
+
+    def precond_share_bytes_per_rank(self, p: int, grad_worker_frac: float) -> float:
+        """Per-iteration preconditioned-gradient bytes one rank receives.
+
+        A rank outside a layer's group receives that layer's packed
+        gradient from the group root each iteration; a rank is a
+        non-member for ``(p - g)/p`` of the layers.  Zero at ``f = 1``
+        (COMM_OPT: no second stage), maximal at ``f = 1/p`` — the
+        communication side of the Pareto frontier, strictly increasing
+        as ``f`` decreases.
+        """
+        if p < 1:
+            raise ValueError(f"world size must be >= 1, got {p}")
+        if p == 1:
+            return 0.0
+        g = grad_worker_count(p, grad_worker_frac)
+        return self.model.grad_matrix_bytes * (p - g) / p
+
+    def precond_share_time(self, p: int, grad_worker_frac: float) -> float:
+        """Second-stage broadcast seconds per iteration under fraction ``f``.
+
+        Each group root broadcasts its fused per-root gradient shard to
+        the ``p - g`` non-members (a ``p - g + 1``-rank
+        scatter+allgather broadcast, the bandwidth-optimal large-payload
+        algorithm).  Groups start at the layer's canonical owner
+        ``i % p``, so only ``min(p, n_layers)`` distinct roots exist —
+        the launch count and shard size follow the real placement, not
+        ``p``.  A per-iteration blocking stage, so the straggler penalty
+        applies — the LAYER_WISE scaling pathology, dialled in
+        continuously by ``f``.
+        """
+        if p <= 1:
+            return 0.0
+        g = grad_worker_count(p, grad_worker_frac)
+        if g >= p:
+            return 0.0
+        participants = p - g + 1
+        roots = min(p, self.n_layers)
+        per_root = self.model.grad_matrix_bytes / roots
+        base = roots * scatter_broadcast_time(per_root, participants, self.cluster.net)
+        launches = self.cluster.op_launch * roots
+        return base * self.cluster.sync_penalty(p) + launches
+
+    def eig_group_comm_time(self, p: int, grad_worker_frac: float) -> float:
+        """Group eigenbasis-share seconds for one K-FAC update.
+
+        ``f = 1`` degenerates to the COMM_OPT world allgather
+        (:meth:`eig_comm_time`); ``f = 1/p`` to zero (LAYER_WISE keeps
+        decompositions local).  In between, each rank performs the window
+        allgathers it belongs to, each moving one group's share of the
+        eig payload among ``g`` ranks.  Only ``min(p, n_layers)``
+        distinct windows exist (one per canonical owner), so a rank sits
+        in ``g * min(p, L) / p`` of them on average.  The assignment
+        policy does not enter: the gathered payload per group is the
+        group's full eigenbasis regardless of which member decomposed
+        which factor.
+        """
+        if p <= 1:
+            return 0.0
+        g = grad_worker_count(p, grad_worker_frac)
+        if g == 1:
+            return 0.0
+        if g >= p:
+            return self.eig_comm_time(p)
+        n_groups = min(p, self.n_layers)
+        per_rank_windows = g * n_groups / p
+        per_group = self.model.eig_bytes / n_groups
+        launches = self.cluster.op_launch * self.model.n_factors * 2 * g / p
+        return per_rank_windows * allgather_time(per_group, g, self.cluster.net) + launches
+
+    def hybrid_eig_stage_time(
+        self, p: int, grad_worker_frac: float, policy: str = "round_robin"
+    ) -> float:
+        """Slowest rank's eigendecomposition time under group placement.
+
+        Uses the *real* within-group assignment
+        (:func:`repro.core.assignment.build_group_placement`), so the
+        modeled imbalance is exactly what the simulated preconditioner
+        would exhibit; degenerates to the COMM_OPT assignment at
+        ``f = 1`` and the LAYER_WISE loads at ``f = 1/p``.
+        """
+        placement = build_group_placement(
+            self._factor_metas, p, grad_worker_frac, policy=policy
+        )
+        loads = worker_costs(
+            self._factor_metas, placement.assignment, p,
+            cost_fn=lambda m: self._eig_seconds(m.dim),
+        )
+        return max(loads)
+
+    def hybrid_precondition_time(self, p: int, grad_worker_frac: float) -> float:
+        """Slowest rank's preconditioning time under fraction ``f``.
+
+        Every gradient worker of a layer preconditions it (redundantly —
+        that is the KAISA trade: compute replicated inside the group so
+        the eigenbasis need not leave it).  ``f = 1`` reproduces
+        :meth:`precondition_time_all`; ``f = 1/p`` the LAYER_WISE
+        slowest-owner load.
+        """
+        placement = build_group_placement(self._factor_metas, p, grad_worker_frac)
+        loads = [0.0] * p
+        for l in self.model.kfac_layers:
+            t = self._precond_layer_time(layer_precondition_flops(l))
+            for r in placement.groups[l.name]:
+                loads[r] += t
+        return max(loads)
+
+    # ------------------------------------------------------------------
     # K-FAC preconditioning stage
     # ------------------------------------------------------------------
     def _precond_layer_time(self, layer_flops: float) -> float:
@@ -461,6 +632,7 @@ class IterationModel:
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         symmetric: bool = False,
         precision: str = "fp32",
+        grad_worker_frac: float | None = None,
     ) -> float:
         """Average per-iteration time including amortized K-FAC stages.
 
@@ -473,9 +645,33 @@ class IterationModel:
         forward/backward, half-width patch traffic, and codec-compressed
         gradient/factor wire bytes (eig exchange stays fp32 per the
         precision policy).
+        ``strategy="hybrid"`` with ``grad_worker_frac=f`` models the
+        KAISA-style placement: group eigenbasis share, replicated
+        in-group preconditioning, and the per-iteration second-stage
+        broadcast; ``f = 1`` reproduces the comm-opt numbers exactly.
         """
         base = self.sgd_iteration_time(p, precision)
-        if strategy == "comm-opt":
+        if strategy == "hybrid":
+            if grad_worker_frac is None:
+                raise ValueError("strategy='hybrid' requires grad_worker_frac")
+            if pipelined:
+                fac_comm = self.pipelined_comm_times(
+                    p, policy, bucket_bytes, symmetric, precision
+                )[0]
+            else:
+                fac_comm = self.factor_comm_time(p, packed=symmetric, precision=precision)
+            per_fac = (
+                self.factor_compute_time(syrk=symmetric, precision=precision)
+                + self.factor_capture_overhead()
+                + fac_comm
+            )
+            per_eig = self.hybrid_eig_stage_time(
+                p, grad_worker_frac, policy
+            ) + self.eig_group_comm_time(p, grad_worker_frac)
+            per_iter = self.hybrid_precondition_time(
+                p, grad_worker_frac
+            ) + self.precond_share_time(p, grad_worker_frac)
+        elif strategy == "comm-opt":
             if pipelined:
                 fac_comm, eig_comm = self.pipelined_comm_times(
                     p, policy, bucket_bytes, symmetric, precision
@@ -540,6 +736,7 @@ class IterationModel:
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         symmetric: bool = False,
         precision: str = "fp32",
+        grad_worker_frac: float | None = None,
     ) -> StageProfile:
         """Per-update-step stage profile (the paper's Table V row).
 
@@ -552,23 +749,46 @@ class IterationModel:
         triangular-packed allreduce payload.  ``precision="fp16"`` applies
         the mixed-precision rates (half-width patch traffic, compressed
         factor wire); the eigendecomposition stage stays fp32 by policy.
+        With ``grad_worker_frac=f`` the profile models the KAISA-style
+        hybrid placement: group eigenbasis share instead of the world
+        allgather, a non-zero ``precond_tcomm`` second stage, and the
+        per-rank memory/volume fields that trace the memory-vs-comm
+        Pareto frontier (``f=1`` reproduces the COMM_OPT profile).
         """
         fac_comm = self.factor_comm_time(p, packed=symmetric, precision=precision)
-        eig_comm = self.eig_comm_time(p)
+        if grad_worker_frac is None:
+            eig_comm = self.eig_comm_time(p)
+            eig_tcomp = self.eig_stage_time(p, "comm-opt", policy)
+            precond_tcomm = 0.0
+            eig_mem = float(self.model.eig_bytes)
+            share_bytes = 0.0
+        else:
+            eig_comm = self.eig_group_comm_time(p, grad_worker_frac)
+            eig_tcomp = self.hybrid_eig_stage_time(p, grad_worker_frac, policy)
+            precond_tcomm = self.precond_share_time(p, grad_worker_frac)
+            eig_mem = self.eigenbasis_bytes_per_rank(p, grad_worker_frac)
+            share_bytes = self.precond_share_bytes_per_rank(p, grad_worker_frac)
         if pipelined:
             fac_exposed, eig_exposed = self.pipelined_comm_times(
                 p, policy, bucket_bytes, symmetric, precision
             )
+            if grad_worker_frac is not None:
+                # hybrid pipelines the factor stage only; the group share
+                # stays synchronous (see KFAC._pipelined_update_hybrid)
+                eig_exposed = eig_comm
         else:
             fac_exposed, eig_exposed = fac_comm, eig_comm
         return StageProfile(
             factor_tcomp=self.factor_compute_time(syrk=symmetric, precision=precision),
             factor_tcomm=fac_comm,
-            eig_tcomp=self.eig_stage_time(p, "comm-opt", policy),
+            eig_tcomp=eig_tcomp,
             eig_tcomm=eig_comm,
             factor_tcomm_exposed=fac_exposed,
             eig_tcomm_exposed=eig_exposed,
             factor_comm_payload_bytes=float(
                 self.factor_comm_payload_bytes(symmetric, precision)
             ),
+            precond_tcomm=precond_tcomm,
+            eigenbasis_bytes_per_rank=eig_mem,
+            precond_share_bytes_per_rank=share_bytes,
         )

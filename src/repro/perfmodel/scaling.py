@@ -39,7 +39,14 @@ PAPER_GPU_SCALES = (16, 32, 64, 128, 256)
 
 
 def scale_interval_schedule(gpus: int, base_gpus: int = 16, base_interval: int = 2000) -> int:
-    """The paper's scale-proportional K-FAC update interval (§VI-C2)."""
+    """The paper's scale-proportional K-FAC update interval (§VI-C2).
+
+    Example
+    -------
+    >>> from repro.perfmodel.scaling import scale_interval_schedule
+    >>> scale_interval_schedule(16), scale_interval_schedule(256)
+    (2000, 125)
+    """
     if gpus < 1:
         raise ValueError(f"gpus must be >= 1, got {gpus}")
     return max(1, base_interval * base_gpus // gpus)
@@ -64,7 +71,15 @@ class ScalingPoint:
 
 @dataclass
 class ScalingStudy:
-    """Full Figs. 7–9 sweep for one model depth."""
+    """Full Figs. 7–9 sweep for one model depth.
+
+    Example
+    -------
+    >>> from repro.perfmodel.scaling import ScalingStudy
+    >>> points = ScalingStudy(depth=50, gpus=(16, 64)).run()
+    >>> points[0].gpus, points[0].sgd_minutes > points[1].sgd_minutes
+    (16, True)
+    """
 
     depth: int
     gpus: tuple[int, ...] = PAPER_GPU_SCALES
@@ -126,7 +141,15 @@ def improvement_table(
     gpus: tuple[int, ...] = PAPER_GPU_SCALES,
     **study_kw: object,
 ) -> dict[int, list[float]]:
-    """Table IV: fractional K-FAC-opt improvement over SGD, per depth/scale."""
+    """Table IV: fractional K-FAC-opt improvement over SGD, per depth/scale.
+
+    Example
+    -------
+    >>> from repro.perfmodel.scaling import improvement_table
+    >>> table = improvement_table(depths=(50,), gpus=(16, 64))
+    >>> len(table[50]) == 2 and all(0 < v < 1 for v in table[50])
+    True
+    """
     table: dict[int, list[float]] = {}
     for depth in depths:
         study = ScalingStudy(depth=depth, gpus=gpus, **study_kw)  # type: ignore[arg-type]

@@ -39,6 +39,13 @@ class KfacLayerSpec:
         factor-computation cost.
     weight_params:
         Scalar parameter count (weight + bias).
+
+    Example
+    -------
+    >>> from repro.perfmodel.specs import resnet_spec
+    >>> stem = resnet_spec(50).kfac_layers[0]
+    >>> stem.name, stem.a_dim, stem.g_dim      # 7x7x3 stem conv, 64 filters
+    ('stem.conv', 147, 64)
     """
 
     name: str
@@ -48,10 +55,38 @@ class KfacLayerSpec:
     spatial_positions: int
     weight_params: int
 
+    @property
+    def eig_elements(self) -> int:
+        """Elements of the layer's eigendecomposition state (Q's + lambdas).
+
+        What a gradient worker must *store* to precondition this layer —
+        the per-layer unit of the ``grad_worker_frac`` memory model.
+        """
+        return self.a_dim**2 + self.a_dim + self.g_dim**2 + self.g_dim
+
+    @property
+    def grad_matrix_elements(self) -> int:
+        """Elements of the packed ``(g_dim, a_dim)`` preconditioned gradient.
+
+        What a group root must *broadcast* per non-gradient-worker — the
+        per-layer unit of the second-stage communication model.
+        """
+        return self.g_dim * self.a_dim
+
 
 @dataclass(frozen=True)
 class ModelSpec:
-    """A full model's K-FAC view plus aggregate parameter count."""
+    """A full model's K-FAC view plus aggregate parameter count.
+
+    Example
+    -------
+    >>> from repro.perfmodel.specs import resnet_spec
+    >>> spec = resnet_spec(50)
+    >>> len(spec.kfac_layers), spec.n_factors
+    (54, 108)
+    >>> spec.factor_packed_bytes < spec.factor_bytes   # tri-packing saves
+    True
+    """
 
     name: str
     kfac_layers: tuple[KfacLayerSpec, ...] = field(default_factory=tuple)
@@ -103,9 +138,25 @@ class ModelSpec:
     @property
     def eig_bytes(self) -> int:
         """FP32 payload of all eigendecompositions (Q matrices + eigenvalues)."""
-        return 4 * sum(
-            l.a_dim**2 + l.a_dim + l.g_dim**2 + l.g_dim for l in self.kfac_layers
-        )
+        return self.eig_payload_bytes()
+
+    def eig_payload_bytes(self, itemsize: int = 4) -> int:
+        """Eigendecomposition payload at a storage itemsize.
+
+        The eigenbasis stays fp32 by precision policy, so ``itemsize=4``
+        is the normal case; ``itemsize=8`` prices a float64 run.
+        """
+        return itemsize * sum(l.eig_elements for l in self.kfac_layers)
+
+    @property
+    def grad_matrix_bytes(self) -> int:
+        """FP32 payload of all packed per-layer preconditioned gradients.
+
+        The K-FAC-visible gradient volume (BatchNorm parameters excluded)
+        — what the ``grad_worker_frac`` second stage must move when every
+        layer's group root broadcasts to the non-gradient-workers.
+        """
+        return 4 * sum(l.grad_matrix_elements for l in self.kfac_layers)
 
     @property
     def n_factors(self) -> int:
@@ -158,7 +209,14 @@ class _SpecBuilder:
 
 
 def resnet_spec(depth: int, input_size: int = 224, num_classes: int = 1000) -> ModelSpec:
-    """K-FAC spec of an ImageNet-style ResNet at the given input size."""
+    """K-FAC spec of an ImageNet-style ResNet at the given input size.
+
+    Example
+    -------
+    >>> from repro.perfmodel.specs import resnet_spec
+    >>> round(resnet_spec(50).total_params / 1e6, 1)   # the familiar 25.6M
+    25.6
+    """
     if depth not in IMAGENET_DEPTH_CONFIGS:
         raise ValueError(f"unsupported depth {depth}; choose from {sorted(IMAGENET_DEPTH_CONFIGS)}")
     block, stage_blocks = IMAGENET_DEPTH_CONFIGS[depth]

@@ -31,7 +31,23 @@ __all__ = ["MasterWeightOptimizer"]
 
 
 class MasterWeightOptimizer:
-    """Wrap an optimizer factory with fp32 master copies of the params."""
+    """Wrap an optimizer factory with fp32 master copies of the params.
+
+    Sub-resolution updates accumulate in the fp32 masters instead of
+    rounding to zero in the fp16 working copies (the classic
+    mixed-precision-training recipe).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.nn.module import Parameter
+    >>> from repro.optim.sgd import SGD
+    >>> from repro.precision.master import MasterWeightOptimizer
+    >>> working = Parameter(np.ones(2, dtype=np.float16))
+    >>> opt = MasterWeightOptimizer(lambda ps: SGD(ps, lr=0.1), [working])
+    >>> opt.master_params[0].data.dtype
+    dtype('float32')
+    """
 
     def __init__(
         self,

@@ -63,6 +63,15 @@ class PrecisionPolicy:
         dtype-preserving transport).
     loss_scaling:
         Whether :class:`repro.precision.GradScaler` should be armed.
+
+    Example
+    -------
+    >>> from repro.precision.policy import POLICIES
+    >>> fp16 = POLICIES["fp16"]
+    >>> fp16.compute_dtype, fp16.comm_dtype, fp16.loss_scaling
+    ('float16', 'fp16', True)
+    >>> POLICIES["fp32"].is_amp
+    False
     """
 
     name: str
@@ -95,7 +104,16 @@ POLICIES: dict[str, PrecisionPolicy] = {
 
 
 def resolve_policy(policy: "PrecisionPolicy | str | None") -> PrecisionPolicy:
-    """Resolve a policy object, name, or alias (``None`` -> fp32)."""
+    """Resolve a policy object, name, or alias (``None`` -> fp32).
+
+    Example
+    -------
+    >>> from repro.precision.policy import resolve_policy
+    >>> resolve_policy("amp").name        # alias for the fp16 recipe
+    'fp16'
+    >>> resolve_policy(None).name
+    'fp32'
+    """
     if policy is None:
         return POLICIES["fp32"]
     if isinstance(policy, PrecisionPolicy):

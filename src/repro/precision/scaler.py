@@ -29,7 +29,19 @@ __all__ = ["GradScaler"]
 
 
 class GradScaler:
-    """PyTorch-flavoured dynamic loss scaler for the NumPy stack."""
+    """PyTorch-flavoured dynamic loss scaler for the NumPy stack.
+
+    Example
+    -------
+    >>> from repro.precision.scaler import GradScaler
+    >>> scaler = GradScaler(init_scale=1024.0)
+    >>> scaler.update(found_inf=True)      # overflow: back off and skip
+    >>> scaler.scale, scaler.steps_skipped
+    (512.0, 1)
+    >>> scaler.update(found_inf=False)
+    >>> scaler.steps_taken
+    1
+    """
 
     def __init__(
         self,

@@ -55,12 +55,30 @@ _STATE = threading.local()
 
 
 def get_compute_dtype() -> str | None:
-    """The active compute dtype name, or ``None`` outside any autocast."""
+    """The active compute dtype name, or ``None`` outside any autocast.
+
+    Example
+    -------
+    >>> from repro.tensor.amp import autocast, get_compute_dtype
+    >>> get_compute_dtype() is None
+    True
+    >>> with autocast("float16"):
+    ...     get_compute_dtype()
+    'float16'
+    """
     return getattr(_STATE, "dtype", None)
 
 
 def set_compute_dtype(dtype: str | None) -> None:
-    """Install a compute dtype for this thread (``None`` disables it)."""
+    """Install a compute dtype for this thread (``None`` disables it).
+
+    Example
+    -------
+    >>> from repro.tensor.amp import get_compute_dtype, set_compute_dtype
+    >>> set_compute_dtype("bfloat16"); get_compute_dtype()
+    'bfloat16'
+    >>> set_compute_dtype(None)   # restore full precision
+    """
     if dtype is not None and dtype not in COMPUTE_DTYPES:
         raise ValueError(f"unknown compute dtype {dtype!r}; choose from {COMPUTE_DTYPES}")
     _STATE.dtype = dtype
@@ -68,7 +86,17 @@ def set_compute_dtype(dtype: str | None) -> None:
 
 @contextmanager
 def autocast(dtype: str | None) -> Iterator[None]:
-    """Run the enclosed block with the given compute dtype installed."""
+    """Run the enclosed block with the given compute dtype installed.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.amp import amp_matmul, autocast
+    >>> a = np.ones((2, 3), dtype=np.float32)
+    >>> with autocast("float16"):
+    ...     amp_matmul(a, a.T).dtype     # fp16 multiply, fp32 accumulate
+    dtype('float32')
+    """
     previous = get_compute_dtype()
     set_compute_dtype(dtype)
     try:
@@ -99,7 +127,16 @@ def bf16_unpack(packed: np.ndarray) -> np.ndarray:
 
 
 def quantize_bf16(x: np.ndarray) -> np.ndarray:
-    """Round fp32 values to the bfloat16 grid (storage stays float32)."""
+    """Round fp32 values to the bfloat16 grid (storage stays float32).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.amp import quantize_bf16
+    >>> q = quantize_bf16(np.array([1.0 + 2.0**-10], dtype=np.float32))
+    >>> float(q[0]), q.dtype.name     # below bf16 resolution: back to 1.0
+    (1.0, 'float32')
+    """
     return bf16_unpack(bf16_pack(x))
 
 
@@ -118,6 +155,17 @@ def cast_compute_storage(x: np.ndarray) -> np.ndarray:
     traffic, like the half-precision patch buffers of Osawa et al.);
     under bf16 it is fp32 storage rounded to the bf16 grid; otherwise the
     input passes through (or is cast for an explicit fp32/fp64 policy).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.amp import autocast, cast_compute_storage
+    >>> x = np.ones(4, dtype=np.float32)
+    >>> with autocast("float16"):
+    ...     cast_compute_storage(x).dtype
+    dtype('float16')
+    >>> cast_compute_storage(x) is x     # no autocast: pass-through
+    True
     """
     dt = get_compute_dtype()
     if dt is None or x.dtype.name == dt:
@@ -139,6 +187,18 @@ def amp_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     and bf16 the *operands* are rounded to the half-precision grid and the
     product accumulates in fp32 (Tensor-Core semantics); the result is
     fp32.  Under fp64 both operands are promoted and the result is fp64.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.amp import amp_matmul, autocast
+    >>> a = np.full((1, 3), 1/3, dtype=np.float32)
+    >>> np.array_equal(amp_matmul(a, a.T), a @ a.T)   # no autocast: exact
+    True
+    >>> with autocast("float16"):
+    ...     out = amp_matmul(a, a.T)                  # rounded operands...
+    >>> out.dtype                                     # ...fp32 accumulator
+    dtype('float32')
     """
     dt = get_compute_dtype()
     if dt is None or dt == "float32":

@@ -20,7 +20,14 @@ _ALLOWED = ("float32", "float64")
 
 
 def resolve_default_dtype() -> str:
-    """The storage dtype from ``REPRO_DEFAULT_DTYPE`` (default ``float32``)."""
+    """The storage dtype from ``REPRO_DEFAULT_DTYPE`` (default ``float32``).
+
+    Example
+    -------
+    >>> from repro.tensor.dtypes import resolve_default_dtype
+    >>> resolve_default_dtype() in ("float32", "float64")
+    True
+    """
     value = os.environ.get("REPRO_DEFAULT_DTYPE", "float32")
     if value not in _ALLOWED:
         raise ValueError(

@@ -39,7 +39,14 @@ _MIRROR_TILE = 256
 
 
 def has_syrk(dtype: np.dtype | str) -> bool:
-    """True when a BLAS rank-k kernel exists for ``dtype``."""
+    """True when a BLAS rank-k kernel exists for ``dtype``.
+
+    Example
+    -------
+    >>> from repro.tensor.gram import has_syrk
+    >>> has_syrk("float16")    # halves fall back to the GEMM path
+    False
+    """
     return np.dtype(dtype) in _SYRK
 
 
@@ -56,6 +63,15 @@ def mirror_upper(mat: np.ndarray) -> np.ndarray:
 
     Tiled: off-diagonal blocks are blockwise transposed copies (cache
     friendly), only the small diagonal blocks use index pairs.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.gram import mirror_upper
+    >>> m = np.array([[1., 2.], [0., 3.]], dtype=np.float32)
+    >>> mirror_upper(m)
+    array([[1., 2.],
+           [2., 3.]], dtype=float32)
     """
     n = mat.shape[0]
     if n <= 1:
@@ -89,6 +105,17 @@ def gram(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     numpy.ndarray
         ``(n, n)`` Gram matrix with ``gram(x) == gram(x).T`` holding
         bit-for-bit.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.gram import gram
+    >>> x = np.random.default_rng(0).normal(size=(64, 8)).astype(np.float32)
+    >>> G = gram(x)
+    >>> bool(np.array_equal(G, G.T))          # exactly symmetric
+    True
+    >>> bool(np.allclose(G, x.T @ x, atol=1e-4))
+    True
     """
     if x.ndim != 2:
         raise ValueError(f"gram expects a 2-D matrix, got shape {x.shape}")

@@ -20,7 +20,16 @@ __all__ = ["conv_out_size", "im2col", "col2im"]
 
 
 def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    """Output spatial size of a convolution along one dimension."""
+    """Output spatial size of a convolution along one dimension.
+
+    Example
+    -------
+    >>> from repro.tensor.im2col import conv_out_size
+    >>> conv_out_size(224, 7, 2, 3)     # ResNet stem conv
+    112
+    >>> conv_out_size(8, 3, 1, 1)       # 'same' 3x3
+    8
+    """
     out = (size + 2 * padding - kernel) // stride + 1
     if out <= 0:
         raise ValueError(
@@ -56,6 +65,14 @@ def im2col(
         Patch matrix of shape ``(N * OH * OW, C * kh * kw)``.  The column
         layout is ``(C, kh, kw)`` flattened C-contiguously, matching
         ``weight.reshape(C_out, -1)``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.im2col import im2col
+    >>> x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    >>> im2col(x, (3, 3), (1, 1), (0, 0)).shape   # 2x2 positions, 9-el patches
+    (4, 9)
     """
     if x.ndim != 4:
         raise ValueError(f"im2col expects NCHW input, got shape {x.shape}")
@@ -115,6 +132,16 @@ def col2im(
     numpy.ndarray
         Array of shape ``x_shape`` where every patch value has been added
         back into its source position.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.im2col import col2im, im2col
+    >>> x = np.ones((1, 1, 3, 3), dtype=np.float32)
+    >>> cols = im2col(x, (2, 2), (1, 1), (0, 0))
+    >>> back = col2im(cols, x.shape, (2, 2), (1, 1), (0, 0))
+    >>> float(back[0, 0, 1, 1])          # centre pixel overlaps 4 patches
+    4.0
     """
     n, c, h, w = x_shape
     kh, kw = kernel_size

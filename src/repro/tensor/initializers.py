@@ -35,7 +35,16 @@ def kaiming_normal(
     nonlinearity_gain: float = math.sqrt(2.0),
     dtype: str = DEFAULT_DTYPE,
 ) -> np.ndarray:
-    """He-normal initialization: ``N(0, gain^2 / fan)``."""
+    """He-normal initialization: ``N(0, gain^2 / fan)``.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.initializers import kaiming_normal
+    >>> w = kaiming_normal((64, 3, 7, 7), np.random.default_rng(0), dtype="float32")
+    >>> w.shape, w.dtype.name
+    ((64, 3, 7, 7), 'float32')
+    """
     fan_in, fan_out = _fans(shape)
     fan = fan_out if mode == "fan_out" else fan_in
     std = nonlinearity_gain / math.sqrt(fan)
@@ -48,7 +57,16 @@ def kaiming_uniform(
     a: float = math.sqrt(5.0),
     dtype: str = DEFAULT_DTYPE,
 ) -> np.ndarray:
-    """He-uniform with leaky-relu slope ``a`` (PyTorch's Linear default)."""
+    """He-uniform with leaky-relu slope ``a`` (PyTorch's Linear default).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.initializers import kaiming_uniform
+    >>> w = kaiming_uniform((16, 8), np.random.default_rng(0))
+    >>> bool(np.all(np.abs(w) < 1.0))
+    True
+    """
     fan_in, _ = _fans(shape)
     gain = math.sqrt(2.0 / (1.0 + a * a))
     bound = gain * math.sqrt(3.0 / fan_in)
@@ -61,12 +79,27 @@ def xavier_uniform(
     gain: float = 1.0,
     dtype: str = DEFAULT_DTYPE,
 ) -> np.ndarray:
-    """Glorot-uniform initialization."""
+    """Glorot-uniform initialization.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.tensor.initializers import xavier_uniform
+    >>> xavier_uniform((10, 10), np.random.default_rng(0)).shape
+    (10, 10)
+    """
     fan_in, fan_out = _fans(shape)
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
     return rng.uniform(-bound, bound, size=shape).astype(dtype)
 
 
 def zeros_init(shape: tuple[int, ...], dtype: str = DEFAULT_DTYPE) -> np.ndarray:
-    """All-zeros array (bias default)."""
+    """All-zeros array (bias default).
+
+    Example
+    -------
+    >>> from repro.tensor.initializers import zeros_init
+    >>> float(zeros_init((3,)).sum())
+    0.0
+    """
     return np.zeros(shape, dtype=dtype)

@@ -28,7 +28,18 @@ __all__ = ["Workspace", "default_workspace"]
 
 
 class Workspace:
-    """Size-keyed pool of reusable scratch arrays."""
+    """Size-keyed pool of reusable scratch arrays.
+
+    Example
+    -------
+    >>> from repro.tensor.workspace import Workspace
+    >>> ws = Workspace()
+    >>> a = ws.request((4, 4), "float32")     # warm-up: allocates
+    >>> ws.release(a)
+    >>> b = ws.request((2, 8), "float32")     # same element count: recycled
+    >>> ws.hits, ws.misses
+    (1, 1)
+    """
 
     def __init__(self) -> None:
         self._pool: dict[tuple[str, int], list[np.ndarray]] = {}
@@ -110,5 +121,14 @@ _DEFAULT = Workspace()
 
 
 def default_workspace() -> Workspace:
-    """The process-wide shared arena (used by layers unless given their own)."""
+    """The process-wide shared arena (used by layers unless given their own).
+
+    Example
+    -------
+    >>> from repro.tensor.workspace import Workspace, default_workspace
+    >>> default_workspace() is default_workspace()   # one shared arena
+    True
+    >>> isinstance(default_workspace(), Workspace)
+    True
+    """
     return _DEFAULT

@@ -32,6 +32,17 @@ def format_table(
         Row values; each row must have ``len(headers)`` entries.
     title:
         Optional title line printed above the table.
+
+    Example
+    -------
+    >>> from repro.utils.tables import format_table
+    >>> print(format_table(["p", "t"], [[2, 1.5], [4, 0.9]]))
+    +---+-----+
+    | p | t   |
+    +---+-----+
+    | 2 | 1.5 |
+    | 4 | 0.9 |
+    +---+-----+
     """
     for row in rows:
         if len(row) != len(headers):
@@ -73,6 +84,14 @@ def format_series(
 
     Used for the paper's figures (accuracy curves, time-to-solution vs
     scale) where a plot is summarised as its underlying series.
+
+    Example
+    -------
+    >>> from repro.utils.tables import format_series
+    >>> print(format_series("acc", [1, 2], [0.5, 0.75], "epoch", "top1"))
+    series: acc (epoch -> top1)
+               1 -> 0.5
+               2 -> 0.75
     """
     if len(xs) != len(ys):
         raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")

@@ -22,7 +22,17 @@ __all__ = ["Stopwatch", "Timer", "TimerRegistry"]
 
 
 class Stopwatch:
-    """Accumulating wall-clock stopwatch usable as a context manager."""
+    """Accumulating wall-clock stopwatch usable as a context manager.
+
+    Example
+    -------
+    >>> from repro.utils.timer import Stopwatch
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.count, sw.total > 0.0
+    (1, True)
+    """
 
     def __init__(self) -> None:
         self.total = 0.0
@@ -51,7 +61,16 @@ class Stopwatch:
 
 @dataclass
 class Timer:
-    """An accounted-time accumulator for one named phase."""
+    """An accounted-time accumulator for one named phase.
+
+    Example
+    -------
+    >>> from repro.utils.timer import Timer
+    >>> t = Timer("factor_comm")
+    >>> t.charge(0.25); t.charge(0.75)
+    >>> t.total, t.mean
+    (1.0, 0.5)
+    """
 
     name: str
     total: float = 0.0
@@ -76,6 +95,16 @@ class TimerRegistry:
     Used by the simulated collectives and the performance model to attribute
     simulated seconds to phases like ``grad_allreduce``, ``factor_comm``,
     ``eig_compute`` — the same breakdown the paper reports in Table V.
+
+    Example
+    -------
+    >>> from repro.utils.timer import TimerRegistry
+    >>> reg = TimerRegistry()
+    >>> reg.charge("grad_allreduce", 0.1); reg.charge("factor_comm", 0.2)
+    >>> reg.as_dict()
+    {'factor_comm': 0.2, 'grad_allreduce': 0.1}
+    >>> round(reg.grand_total(), 10)
+    0.3
     """
 
     timers: dict[str, Timer] = field(default_factory=dict)

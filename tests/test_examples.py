@@ -41,5 +41,12 @@ class TestExamples:
         assert "Table IV" in out
 
     def test_placement_policy(self):
-        out = run_example("placement_policy.py", "--depth", "50", "--gpus", "16", "32")
+        out = run_example(
+            "placement_policy.py",
+            "--depth", "50", "--gpus", "16", "32",
+            "--fracs", "1", "0.5", "0.25",
+        )
         assert "round-robin" in out and "greedy" in out
+        # the grad_worker_frac sweep prints the perfmodel memory/comm table
+        assert "grad_worker_frac sweep" in out
+        assert "eig mem/rank (MiB)" in out and "bcast recv/rank (MiB)" in out
