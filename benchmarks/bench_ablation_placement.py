@@ -52,6 +52,28 @@ def test_grad_worker_frac_pareto_frontier(benchmark):
         assert lo["eig_tcomm"] <= hi["eig_tcomm"]
 
 
+def test_graph_scheduler_beats_retired_hybrid_pipeline():
+    """The task-graph route prices the HYBRID group share as schedulable
+    nodes: at P=64, f=0.5 its exposed eig comm is *strictly* below the
+    retired hand-written hybrid pipeline's (which ran the share
+    synchronously), and never worse anywhere on the sweep at P >= 4."""
+    im = IterationModel(resnet_spec(50), V100_LIKE, FRONTERA_LIKE)
+    legacy = im.stage_profile(64, pipelined=True, grad_worker_frac=0.5)
+    graph = im.stage_profile(64, scheduler="graph", grad_worker_frac=0.5)
+    assert graph.eig_tcomm_exposed < legacy.eig_tcomm_exposed
+    assert graph.factor_tcomm_exposed <= legacy.factor_tcomm_exposed
+    intervals = KfacIntervals.from_eig_interval(100)
+    for p in (4, 16, 64):
+        for frac in (1.0 / p, 0.25, 0.5, 1.0):
+            g = im.kfac_iteration_time(
+                p, "hybrid", intervals, grad_worker_frac=frac, scheduler="graph"
+            )
+            legacy_pipe = im.kfac_iteration_time(
+                p, "hybrid", intervals, grad_worker_frac=frac, pipelined=True
+            )
+            assert g <= legacy_pipe + 1e-12, (p, frac)
+
+
 def test_grad_worker_frac_model_endpoints():
     """f=1 reproduces the COMM_OPT model exactly; f=1/P the LAYER_WISE loads."""
     im = IterationModel(resnet_spec(50), V100_LIKE, FRONTERA_LIKE)

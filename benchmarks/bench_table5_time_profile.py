@@ -41,6 +41,15 @@ def test_table5_stage_profile(benchmark):
             packed = im.stage_profile(p, pipelined=True, symmetric=True)
             assert packed.factor_comm_payload_bytes < sync.factor_comm_payload_bytes
             assert packed.factor_tcomm < sync.factor_tcomm
+            # the task-graph scheduler is never worse than the retired
+            # hand-written pipelines it replaced, at every world size >= 4
+            graph = im.stage_profile(p, scheduler="graph")
+            assert graph.factor_tcomm_exposed <= pipe.factor_tcomm_exposed
+            assert graph.eig_tcomm_exposed <= pipe.eig_tcomm_exposed
+            hybrid_legacy = im.stage_profile(p, pipelined=True, grad_worker_frac=0.5)
+            hybrid_graph = im.stage_profile(p, scheduler="graph", grad_worker_frac=0.5)
+            assert hybrid_graph.factor_tcomm_exposed <= hybrid_legacy.factor_tcomm_exposed
+            assert hybrid_graph.eig_tcomm_exposed <= hybrid_legacy.eig_tcomm_exposed
     # the experiment artifact carries the exposed/hidden accounting
     assert all(h > 0.0 for h in result.data["hidden"].values())
     # ... and the packed-vs-full factor payloads (packed strictly lower)

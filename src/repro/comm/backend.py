@@ -263,6 +263,19 @@ class World:
         of a ``len(ranks)``-rank ring — the gradient-worker-fraction
         strategy's cheaper eigenbasis exchange.
         """
+        return self.group_allgather_async(contributions, ranks, phase=phase).wait()
+
+    def group_allgather_async(
+        self,
+        contributions: Sequence[np.ndarray],
+        ranks: Sequence[int],
+        phase: str = "allgather",
+    ) -> InFlightHandle[list[list[np.ndarray]]]:
+        """Non-blocking group allgather (see :meth:`allreduce_async`).
+
+        A singleton group moves no data and charges nothing, matching the
+        blocking shortcut.
+        """
         group = tuple(ranks)
         contribs = list(contributions)
         if len(contribs) != len(group):
@@ -270,11 +283,12 @@ class World:
         if len(set(group)) != len(group) or any(not 0 <= r < self.size for r in group):
             raise ValueError(f"invalid group ranks {group} for world size {self.size}")
         if len(group) == 1:
-            return [[contribs[0]]]
+            return InFlightHandle([[contribs[0]]], 0.0, lambda ov: None)
         total = float(sum(c.nbytes for c in contribs))
         out = ring_allgather(contribs)
-        self._charge(phase, allgather_time(total, len(group), self.net), total)
-        return out
+        t = allgather_time(total, len(group), self.net)
+        self.stats.record(phase, total)
+        return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
 
     def group_broadcast(
         self,
@@ -289,16 +303,27 @@ class World:
         simulated tree spans only the group, so a broadcast to few ranks
         is proportionally cheaper than a world broadcast.
         """
+        return self.group_broadcast_async(value, root, ranks, phase=phase).wait()
+
+    def group_broadcast_async(
+        self,
+        value: np.ndarray,
+        root: int,
+        ranks: Sequence[int],
+        phase: str = "broadcast",
+    ) -> InFlightHandle[list[np.ndarray]]:
+        """Non-blocking group broadcast (see :meth:`allreduce_async`)."""
         group = tuple(ranks)
         if root not in group:
             raise ValueError(f"root {root} not in group {group}")
         if len(set(group)) != len(group) or any(not 0 <= r < self.size for r in group):
             raise ValueError(f"invalid group ranks {group} for world size {self.size}")
         if len(group) == 1:
-            return [value]
+            return InFlightHandle([value], 0.0, lambda ov: None)
         out = binomial_broadcast(value, len(group), group.index(root))
-        self._charge(phase, broadcast_time(value.nbytes, len(group), self.net), value.nbytes)
-        return out
+        t = broadcast_time(value.nbytes, len(group), self.net)
+        self.stats.record(phase, float(value.nbytes))
+        return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
 
     def reduce_scatter(
         self, buffers: Sequence[np.ndarray], phase: str = "reduce_scatter"
@@ -445,12 +470,14 @@ class World:
             return self.broadcast(ordered[root], root=root, phase=meta[1])
         if kind == "group_allgather":
             ranks, phase = meta
-            return self.group_allgather(ordered, ranks, phase=phase)
+            return self.group_allgather_async(ordered, ranks, phase=phase).wait(
+                overlap_seconds
+            )
         if kind == "group_broadcast":
             root, ranks, phase = meta
-            return self.group_broadcast(
+            return self.group_broadcast_async(
                 ordered[ranks.index(root)], root, ranks, phase=phase
-            )
+            ).wait(overlap_seconds)
         if kind == "barrier":
             return [None] * len(ordered)
         raise ValueError(f"unknown collective kind {kind!r}")
@@ -549,6 +576,22 @@ class RankView:
             self.timeout, ranks=group,
         )
 
+    def group_allgather_async(
+        self,
+        tensor: np.ndarray,
+        name: str,
+        ranks: Sequence[int],
+        phase: str = "allgather",
+    ) -> LaunchedHandle[list[np.ndarray]]:
+        """Non-blocking group allgather (see :meth:`allreduce_async`)."""
+        group = tuple(ranks)
+        return LaunchedHandle(
+            lambda ov: self.world._post_matched(
+                "group_allgather", name, self.rank, tensor, (group, phase),
+                self.timeout, ov, ranks=group,
+            )
+        )
+
     def group_broadcast(
         self,
         tensor: np.ndarray,
@@ -562,6 +605,23 @@ class RankView:
         return self.world._post_matched(
             "group_broadcast", name, self.rank, tensor, (root, group, phase),
             self.timeout, ranks=group,
+        )
+
+    def group_broadcast_async(
+        self,
+        tensor: np.ndarray,
+        name: str,
+        root: int,
+        ranks: Sequence[int],
+        phase: str = "broadcast",
+    ) -> LaunchedHandle[np.ndarray]:
+        """Non-blocking group broadcast (see :meth:`allreduce_async`)."""
+        group = tuple(ranks)
+        return LaunchedHandle(
+            lambda ov: self.world._post_matched(
+                "group_broadcast", name, self.rank, tensor, (root, group, phase),
+                self.timeout, ov, ranks=group,
+            )
         )
 
     def barrier(self, name: str = "barrier") -> None:

@@ -41,9 +41,11 @@ from repro.comm.handles import InFlightHandle
 __all__ = [
     "CommEngine",
     "DEFAULT_BUCKET_BYTES",
+    "estimate_precondition_seconds",
     "estimate_second_order_seconds",
     "partition_buckets",
     "symmetric_payload_nbytes",
+    "task_overlap_profile",
 ]
 
 #: default pipeline chunk size — small enough that a ResNet-scale factor
@@ -79,6 +81,68 @@ def estimate_second_order_seconds(dims: Sequence[int], eigen: bool = True) -> fl
     """
     coef = EIG_FLOP_COEF if eigen else INV_FLOP_COEF
     return sum(coef * float(d) ** 3 for d in dims) / NOMINAL_SECOND_ORDER_FLOPS
+
+
+def estimate_precondition_seconds(layer_dims: Sequence[tuple[int, int]]) -> float:
+    """Deterministic simulated seconds to precondition layer gradients.
+
+    ``layer_dims`` are ``(g_dim, a_dim)`` pairs of the layers preconditioned
+    locally between an async launch and its wait.  The eigenbasis path costs
+    two changes of basis plus the rescale — roughly ``4 * (g^2 a + g a^2)``
+    FLOPs per layer — priced at the same nominal throughput as the
+    second-order estimator so graph-scheduler overlap budgets stay
+    machine-independent.
+
+    Example
+    -------
+    >>> from repro.comm.engine import estimate_precondition_seconds
+    >>> t = estimate_precondition_seconds([(10, 20)])
+    >>> t == estimate_precondition_seconds([(10, 20)])   # deterministic
+    True
+    >>> t < estimate_precondition_seconds([(10, 20), (30, 30)])
+    True
+    """
+    flops = sum(
+        4.0 * (float(g) ** 2 * float(a) + float(g) * float(a) ** 2)
+        for g, a in layer_dims
+    )
+    return flops / NOMINAL_SECOND_ORDER_FLOPS
+
+
+#: comm phase -> scheduler task kind responsible for that traffic
+_PHASE_TO_TASK_KIND = {
+    "factor_comm": "FactorComm",
+    "eig_comm": "EigShare",
+    "precond_comm": "GradShare",
+    "grad_allreduce": "GradAllReduce",
+}
+
+
+def task_overlap_profile(overlap) -> dict[str, dict[str, float]]:
+    """Exposed/hidden seconds keyed by scheduler task kind.
+
+    Translates the per-phase :class:`repro.comm.backend.OverlapStats` into
+    the task vocabulary of :mod:`repro.sched` (``FactorComm``, ``EigShare``,
+    ``GradShare``, ...), so training histories can report which *task kind*
+    paid exposed communication and which overlapped.  Phases without a task
+    mapping keep their phase name.
+
+    Example
+    -------
+    >>> from repro.comm.backend import OverlapStats
+    >>> from repro.comm.engine import task_overlap_profile
+    >>> stats = OverlapStats()
+    >>> stats.record("factor_comm", exposed=0.2, hidden=0.8)
+    >>> task_overlap_profile(stats)
+    {'FactorComm': {'exposed': 0.2, 'hidden': 0.8}}
+    """
+    out: dict[str, dict[str, float]] = {}
+    for phase, entry in overlap.as_dict().items():
+        kind = _PHASE_TO_TASK_KIND.get(phase, phase)
+        bucket = out.setdefault(kind, {"exposed": 0.0, "hidden": 0.0})
+        bucket["exposed"] += entry["exposed"]
+        bucket["hidden"] += entry["hidden"]
+    return out
 
 
 def symmetric_payload_nbytes(dims: Sequence[int], itemsize: int = 4) -> list[int]:

@@ -12,6 +12,11 @@ Buffers are meant to be *persistent*: obtain one per (op, phase) from
 capacity-respecting flushes then carry across iterations and
 ``flush_count``/``bytes_flushed`` accumulate over the whole run.
 
+Planning-time bucket partitioning (deciding *which* factors fuse into
+which pipeline chunk, before any tensor exists) lives elsewhere:
+:func:`repro.sched.planner.plan_buckets` is the single entry point, and
+:func:`repro.comm.engine.partition_buckets` the shared greedy primitive.
+
 **Triangular packing** (:func:`tri_pack` / :func:`tri_unpack`): a Kronecker
 factor is symmetric, so its ``d*d`` payload carries ``d*(d-1)/2`` redundant
 elements.  Packing the upper triangle into a flat ``d*(d+1)/2`` vector

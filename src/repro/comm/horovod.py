@@ -130,6 +130,18 @@ class HorovodContext:
         """
         return self._view.group_allgather(tensor, name=name, ranks=ranks, phase=phase)
 
+    def group_allgather_async(
+        self,
+        tensor: np.ndarray,
+        name: str,
+        ranks: tuple[int, ...],
+        phase: str = "allgather",
+    ) -> LaunchedHandle[list[np.ndarray]]:
+        """Non-blocking group allgather (see :meth:`allreduce_async`)."""
+        return self._view.group_allgather_async(
+            tensor, name=name, ranks=ranks, phase=phase
+        )
+
     def group_broadcast(
         self,
         tensor: np.ndarray,
@@ -140,6 +152,19 @@ class HorovodContext:
     ) -> np.ndarray:
         """Blocking broadcast from ``root`` to the subset ``ranks``."""
         return self._view.group_broadcast(
+            tensor, name=name, root=root, ranks=ranks, phase=phase
+        )
+
+    def group_broadcast_async(
+        self,
+        tensor: np.ndarray,
+        name: str,
+        root: int,
+        ranks: tuple[int, ...],
+        phase: str = "broadcast",
+    ) -> LaunchedHandle[np.ndarray]:
+        """Non-blocking group broadcast (see :meth:`allreduce_async`)."""
+        return self._view.group_broadcast_async(
             tensor, name=name, root=root, ranks=ranks, phase=phase
         )
 

@@ -47,6 +47,15 @@ Every rank must wait every tag it launched, in the same order — drivers
 may deadlock-check but do not reorder.  A generator that never launches
 asynchronously is a valid degenerate case (the synchronous protocol).
 
+Group collectives participate in the same protocol:
+:class:`GroupAllGatherLaunch`/:class:`GroupBroadcastLaunch` start the
+group op and a later :class:`WaitRequest` on the same ``tag`` resolves
+it, so the gradient-worker-fraction share steps can overlap with other
+in-flight work (the task-graph scheduler in :mod:`repro.sched` relies on
+this).  Like their blocking counterparts, *every* rank yields the launch
+and the wait in lockstep — non-members simply pass ``tensor=None`` and
+receive ``None``.
+
 Packing
 -------
 :func:`pack_arrays`/:func:`unpack_arrays` flatten tensor groups for fused
@@ -79,6 +88,8 @@ __all__ = [
     "AllGatherLaunch",
     "GroupAllGatherRequest",
     "GroupBroadcastRequest",
+    "GroupAllGatherLaunch",
+    "GroupBroadcastLaunch",
     "WaitRequest",
     "pack_arrays",
     "unpack_arrays",
@@ -177,6 +188,41 @@ class GroupBroadcastRequest:
     root: int
     ranks: tuple[int, ...]
     phase: str = "broadcast"
+
+
+@dataclass
+class GroupAllGatherLaunch:
+    """Start a group allgather without blocking; resolved by a WaitRequest.
+
+    The asynchronous twin of :class:`GroupAllGatherRequest`: every rank
+    yields the launch in lockstep (non-members with ``tensor=None``) and
+    later yields ``WaitRequest(tag)``; members receive the list of member
+    contributions ordered as ``ranks``, non-members ``None``.  Lets the
+    gradient-worker eigenbasis share overlap with in-flight factor
+    buckets instead of running synchronously after them.
+    """
+
+    tensor: np.ndarray | None
+    ranks: tuple[int, ...]
+    phase: str = "allgather"
+    tag: str = ""
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class GroupBroadcastLaunch:
+    """Start a group broadcast without blocking; resolved by a WaitRequest.
+
+    Asynchronous twin of :class:`GroupBroadcastRequest`: only ``root``
+    provides ``tensor``; at the matching wait every rank listed in
+    ``ranks`` receives the broadcast value, everyone else ``None``.
+    """
+
+    tensor: np.ndarray | None
+    root: int
+    ranks: tuple[int, ...]
+    phase: str = "broadcast"
+    tag: str = ""
 
 
 @dataclass

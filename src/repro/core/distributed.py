@@ -14,7 +14,7 @@ Three drivers, one algorithm:
 
 All three understand both step-generator protocols from
 :mod:`repro.core.comm_ops`: the blocking request/response protocol and the
-pipelined launch/wait protocol (``async_comm=True``), where factor
+pipelined launch/wait protocol (``scheduler="graph"``), where factor
 allreduces run asynchronously while the generator eigendecomposes
 already-reduced factors and the driver credits that compute as hidden
 communication time.
@@ -27,14 +27,16 @@ from typing import Any, Generator, Sequence
 import numpy as np
 
 from repro.comm.backend import World
-from repro.comm.handles import Handle
+from repro.comm.handles import Handle, LaunchedHandle
 from repro.comm.horovod import HorovodContext
 from repro.core.comm_ops import (
     AllGatherLaunch,
     AllGatherRequest,
     AllReduceLaunch,
     AllReduceRequest,
+    GroupAllGatherLaunch,
     GroupAllGatherRequest,
+    GroupBroadcastLaunch,
     GroupBroadcastRequest,
     WaitRequest,
     pack_arrays,
@@ -138,7 +140,9 @@ class PhaseController:
         """
         gens = [k.step_generator() for k in self.kfacs]
         requests = [_advance(g, first=True) for g in gens]
-        pending: dict[str, tuple[Handle, list[tuple[int, ...]] | None]] = {}
+        # tag -> (handle, finalize(raw) -> per-rank responses, member ranks
+        # whose compute budgets bound the hidden time, or None for all)
+        pending: dict[str, tuple[Handle, Any, tuple[int, ...] | None]] = {}
         while any(r is not None for r in requests):
             kinds = {type(r) for r in requests}
             if len(kinds) != 1 or None in requests:
@@ -154,7 +158,10 @@ class PhaseController:
                 responses = self._run_group_allgather(requests)  # type: ignore[arg-type]
             elif isinstance(first, GroupBroadcastRequest):
                 responses = self._run_group_broadcast(requests)  # type: ignore[arg-type]
-            elif isinstance(first, (AllReduceLaunch, AllGatherLaunch)):
+            elif isinstance(
+                first,
+                (AllReduceLaunch, AllGatherLaunch, GroupAllGatherLaunch, GroupBroadcastLaunch),
+            ):
                 responses = self._launch(requests, pending)  # type: ignore[arg-type]
             elif isinstance(first, WaitRequest):
                 responses = self._wait(requests, pending)  # type: ignore[arg-type]
@@ -218,8 +225,8 @@ class PhaseController:
 
     def _launch(
         self,
-        reqs: list[AllReduceLaunch] | list[AllGatherLaunch],
-        pending: dict[str, tuple[Handle, list[tuple[int, ...]] | None]],
+        reqs: Sequence[AllReduceLaunch | AllGatherLaunch | GroupAllGatherLaunch | GroupBroadcastLaunch],
+        pending: dict[str, tuple[Handle, Any, tuple[int, ...] | None]],
     ) -> list[None]:
         tags = {req.tag for req in reqs}
         if len(tags) != 1:
@@ -236,17 +243,54 @@ class PhaseController:
             handle = self.world.allreduce_async(
                 fused, op=reqs[0].op, phase=reqs[0].phase, codec=reqs[0].comm_dtype
             )
-            pending[tag] = (handle, shapes)
-        else:
+            finalize = lambda result: [unpack_arrays(flat, shapes) for flat in result]  # noqa: E731
+            pending[tag] = (handle, finalize, None)
+        elif isinstance(reqs[0], AllGatherLaunch):
             contributions = [req.tensor for req in reqs]
             handle = self.world.allgather_async(contributions, phase=reqs[0].phase)
-            pending[tag] = (handle, None)
+            pending[tag] = (handle, lambda result: result, None)
+        elif isinstance(reqs[0], GroupAllGatherLaunch):
+            groups = {req.ranks for req in reqs}
+            if len(groups) != 1:
+                raise RuntimeError(f"replicas diverged: mixed groups {sorted(groups)}")
+            ranks = reqs[0].ranks
+            for r, req in enumerate(reqs):
+                if (req.tensor is None) != (r not in ranks):
+                    raise RuntimeError(
+                        f"rank {r}: group-allgather launch {tag!r} contribution "
+                        f"does not match membership of group {ranks}"
+                    )
+            handle = self.world.group_allgather_async(
+                [reqs[r].tensor for r in ranks], ranks, phase=reqs[0].phase
+            )
+
+            def finalize(result, ranks=ranks, n=len(reqs)):
+                by_rank = dict(zip(ranks, result))
+                return [by_rank.get(r) for r in range(n)]
+
+            pending[tag] = (handle, finalize, ranks)
+        else:
+            keys = {(req.root, req.ranks) for req in reqs}
+            if len(keys) != 1:
+                raise RuntimeError(f"replicas diverged: mixed broadcast groups {sorted(keys)}")
+            root, ranks = reqs[0].root, reqs[0].ranks
+            if reqs[root].tensor is None:
+                raise RuntimeError(f"broadcast root {root} provided no tensor")
+            handle = self.world.group_broadcast_async(
+                reqs[root].tensor, root, ranks, phase=reqs[0].phase
+            )
+
+            def finalize(result, ranks=ranks, n=len(reqs)):
+                by_rank = dict(zip(ranks, result))
+                return [by_rank.get(r) for r in range(n)]
+
+            pending[tag] = (handle, finalize, ranks)
         return [None] * len(reqs)
 
     def _wait(
         self,
         reqs: list[WaitRequest],
-        pending: dict[str, tuple[Handle, list[tuple[int, ...]] | None]],
+        pending: dict[str, tuple[Handle, Any, tuple[int, ...] | None]],
     ) -> list[list[np.ndarray]]:
         tags = {req.tag for req in reqs}
         if len(tags) != 1:
@@ -254,12 +298,15 @@ class PhaseController:
         tag = reqs[0].tag
         if tag not in pending:
             raise RuntimeError(f"wait on unknown tag {tag!r} (never launched?)")
-        handle, shapes = pending.pop(tag)
-        overlap = min(req.compute_seconds for req in reqs)
-        result = handle.wait(overlap)
-        if shapes is not None:  # fused allreduce: per-rank flat buffers
-            return [unpack_arrays(flat, shapes) for flat in result]
-        return result
+        handle, finalize, member_ranks = pending.pop(tag)
+        # only participating ranks' compute can hide a group op's cost
+        budgets = (
+            [reqs[r].compute_seconds for r in member_ranks]
+            if member_ranks is not None
+            else [req.compute_seconds for req in reqs]
+        )
+        result = handle.wait(min(budgets))
+        return finalize(result)
 
 
 class SPMDDriver:
@@ -371,6 +418,40 @@ class SPMDDriver:
                 handle = self.hvd.allgather_async(
                     req.tensor, name=f"kfac:{req.phase}:{req.tag}", phase=req.phase
                 )
+                pending[req.tag] = (handle, None)
+                req = _advance(gen, None)
+            elif isinstance(req, GroupAllGatherLaunch):
+                if req.tag in pending:
+                    raise RuntimeError(f"duplicate launch tag {req.tag!r} within one step")
+                # stable per-logical-group name, same reasoning as the
+                # blocking GroupAllGatherRequest above
+                name = f"kfac:{req.phase}:grp{req.ranks[0]}"
+                if self.kfac.rank in req.ranks:
+                    assert req.tensor is not None
+                    handle = self.hvd.group_allgather_async(
+                        req.tensor, name=name, ranks=req.ranks, phase=req.phase
+                    )
+                else:
+                    handle = LaunchedHandle(lambda ov: None)
+                pending[req.tag] = (handle, None)
+                req = _advance(gen, None)
+            elif isinstance(req, GroupBroadcastLaunch):
+                if req.tag in pending:
+                    raise RuntimeError(f"duplicate launch tag {req.tag!r} within one step")
+                name = f"kfac:{req.phase}:root{req.root}"
+                if self.kfac.rank in req.ranks:
+                    payload = (
+                        req.tensor
+                        if self.kfac.rank == req.root
+                        else np.zeros(0, dtype=np.float32)
+                    )
+                    assert payload is not None
+                    handle = self.hvd.group_broadcast_async(
+                        payload, name=name, root=req.root, ranks=req.ranks,
+                        phase=req.phase,
+                    )
+                else:
+                    handle = LaunchedHandle(lambda ov: None)
                 pending[req.tag] = (handle, None)
                 req = _advance(gen, None)
             elif isinstance(req, WaitRequest):

@@ -27,22 +27,27 @@ reference implementation: factors are captured/updated every
 ``fac_update_freq`` steps and second-order state every
 ``kfac_update_freq`` steps, with ``fac_update_freq`` typically 10x more
 frequent (§V-C).
+
+Every strategy executes through one dependency-graph scheduler
+(:mod:`repro.sched`): the step is planned as per-layer tasks
+(``FactorComm -> Eig -> EigShare -> Precondition -> GradShare``) and a
+single :class:`repro.sched.executor.GraphExecutor` walks the schedule.
+``scheduler="sync"`` (default) emits the classic blocking request stream;
+``scheduler="graph"`` pipelines it SPD-KFAC style — bucketed asynchronous
+factor allreduces, eigenbasis shares and gradient broadcasts all
+overlapping local second-order compute.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+import warnings
+from dataclasses import dataclass, fields
 from typing import Any, Generator, Sequence
 
 import numpy as np
 
-from repro.comm.compression import ErrorFeedback, get_codec, wire_nbytes
-from repro.comm.engine import (
-    DEFAULT_BUCKET_BYTES,
-    estimate_second_order_seconds,
-    partition_buckets,
-)
-from repro.comm.fusion import tri_unpack
+from repro.comm.compression import ErrorFeedback, get_codec
+from repro.comm.fusion import tri_len
 from repro.core.assignment import (
     FactorMeta,
     GroupPlacement,
@@ -51,21 +56,12 @@ from repro.core.assignment import (
     layer_wise_assignment,
     round_robin_assignment,
 )
-from repro.core.clipping import kl_clip_factor
 from repro.core.comm_ops import (
-    AllGatherLaunch,
     AllGatherRequest,
-    AllReduceLaunch,
     AllReduceRequest,
-    GroupAllGatherRequest,
-    GroupBroadcastRequest,
-    WaitRequest,
-    pack_arrays,
-    pack_symmetric,
     unpack_arrays,
-    unpack_symmetric,
 )
-from repro.core.inverse import FactorEig, eigendecompose, explicit_damped_inverse
+from repro.core.inverse import FactorEig
 from repro.core.layers import KFACLayer, make_kfac_layer
 from repro.nn.module import Module
 
@@ -126,14 +122,22 @@ class KFACHyperParams:
         Layer-name substrings to exclude from preconditioning.  Entries
         must be non-empty (an empty string is a substring of *every* name
         and would silently skip the whole model).
-    async_comm:
-        Pipeline the COMM_OPT factor exchange SPD-KFAC-style: bucketed
-        asynchronous factor allreduces overlapped with local
-        eigendecompositions and a chunked eigendecomposition allgather.
-        Numerically equivalent to the synchronous path; only the
+    scheduler:
+        ``"sync"`` (default) — the task-graph executor emits the classic
+        blocking request stream; ``"graph"`` — SPD-KFAC-style pipelined
+        execution: bucketed asynchronous factor allreduces overlapped with
+        local eigendecompositions, and eigenbasis shares / gradient
+        broadcasts scheduled as ordinary graph nodes that overlap the
+        remaining factor buckets.  Numerically equivalent; only the
         exposed-communication accounting changes.
+    async_comm:
+        Deprecated alias for ``scheduler``: ``True`` selects
+        ``scheduler="graph"``.  Emits a :class:`DeprecationWarning`.
     bucket_bytes:
-        Pipeline chunk size for ``async_comm`` (per-bucket payload cap).
+        Pipeline chunk size (per-bucket payload cap) for
+        ``scheduler="graph"``.  ``None`` (default) lets the planner pick
+        it from the :mod:`repro.comm.costmodel` rates
+        (:func:`repro.sched.planner.choose_bucket_bytes`).
     symmetric_comm:
         Exchange each ``d x d`` factor as its ``d*(d+1)/2``-element upper
         triangle (Osawa et al. 2019), nearly halving factor-stage bytes on
@@ -162,8 +166,9 @@ class KFACHyperParams:
     grad_worker_frac: float | None = None
     assignment: str = "round_robin"
     skip_layers: tuple[str, ...] = ()
-    async_comm: bool = False
-    bucket_bytes: int = DEFAULT_BUCKET_BYTES
+    scheduler: str = "sync"
+    async_comm: bool | None = None
+    bucket_bytes: int | None = None
     symmetric_comm: bool = True
     comm_dtype: str | None = None
 
@@ -205,7 +210,22 @@ class KFACHyperParams:
                     "(an empty string matches every layer name, excluding the "
                     "whole model from K-FAC)"
                 )
-        if self.bucket_bytes <= 0:
+        if self.scheduler not in ("sync", "graph"):
+            raise ValueError(
+                f"scheduler must be 'sync' or 'graph', got {self.scheduler!r}"
+            )
+        if self.async_comm is not None:
+            warnings.warn(
+                "KFAC(async_comm=...) is deprecated; use "
+                "scheduler='graph' (pipelined) or scheduler='sync'",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if self.async_comm and self.scheduler == "sync":
+                self.scheduler = "graph"
+            # normalize so dataclass round trips don't re-warn
+            self.async_comm = None
+        if self.bucket_bytes is not None and self.bucket_bytes <= 0:
             raise ValueError(f"bucket_bytes must be positive, got {self.bucket_bytes}")
 
 
@@ -327,6 +347,9 @@ class KFAC:
         self.n_factor_updates = 0
         self.n_second_order_updates = 0
         self.n_eigs_computed_locally = 0
+        #: step plans cached per (update_factors, update_second_order) —
+        #: the graph/schedule depend only on static placement metadata
+        self._plans: dict[tuple[bool, bool], Any] = {}
 
     # ------------------------------------------------------------------
     # hooks
@@ -409,7 +432,16 @@ class KFAC:
         Preconditions: forward+backward already ran (hooks captured data on
         factor-update iterations) and gradients are already averaged across
         workers (Listing 1 calls ``optimizer.synchronize()`` first).
+
+        The step is planned as a task graph (:mod:`repro.sched`) and run
+        by one :class:`repro.sched.executor.GraphExecutor` for every
+        strategy; ``scheduler="graph"`` pipelines the collectives,
+        ``"sync"`` yields the classic blocking request stream.
         """
+        # imported here, not at module top: repro.sched.executor imports
+        # repro.core submodules, whose package __init__ imports this module
+        from repro.sched.executor import GraphExecutor
+
         update_factors = self.steps % self.fac_update_freq == 0
         update_second_order = self.steps % self.kfac_update_freq == 0
 
@@ -419,63 +451,80 @@ class KFAC:
                 layer.update_factors(self.hp.factor_decay)
             self.n_factor_updates += 1
 
+        plan = self.build_plan(update_factors, update_second_order)
+        yield from GraphExecutor(self, plan).run()
+        if update_second_order:
+            self.n_second_order_updates += 1
+        self.steps += 1
+
+    def build_plan(
+        self, update_factors: bool = True, update_second_order: bool = True
+    ) -> Any:
+        """The :class:`repro.sched.planner.StepPlan` for this step shape.
+
+        Cached per ``(update_factors, update_second_order)`` pair — the
+        graph, schedule and bucket partition depend only on static
+        placement metadata.  ``scheduler="graph"`` plans pipelined
+        launch/wait execution for the COMM_OPT and HYBRID strategies;
+        ``"sync"`` plans the blocking request stream.  With
+        ``bucket_bytes=None`` the pipeline chunk size comes from the
+        cost-model rates (:func:`repro.sched.planner.choose_bucket_bytes`).
+        Factors must exist when a factor exchange is planned (the wire
+        partition is derived from their dtypes).
+        """
+        from repro.sched.planner import build_step_plan
+
+        key = (bool(update_factors), bool(update_second_order))
+        plan = self._plans.get(key)
+        if plan is not None:
+            return plan
         pipelined = (
-            self.hp.async_comm
+            self.hp.scheduler == "graph"
             and self.world_size > 1
             and self.hp.strategy in (COMM_OPT, HYBRID)
             and update_factors
             and update_second_order
         )
-        if pipelined:
-            # SPD-KFAC-style pipeline: bucketed async factor allreduce
-            # overlapped with local eigendecompositions + chunked allgather
-            # (COMM_OPT) or group eigenbasis shares (HYBRID).
-            if self.hp.strategy == HYBRID:
-                yield from self._pipelined_update_hybrid()
-            else:
-                yield from self._pipelined_update_comm_opt()
-            self.n_second_order_updates += 1
-        else:
-            if update_factors and self.world_size > 1:
-                factors = [l.A for l in self.layers] + [l.G for l in self.layers]
-                if self.hp.symmetric_comm:
-                    # ship only the upper triangles: d*(d+1)/2 elements each
-                    tensors = pack_symmetric(factors)
-                else:
-                    tensors = factors
-                tensors = self._compress_factor_tensors(tensors)
-                reduced = yield AllReduceRequest(
-                    tensors=tensors,  # type: ignore[arg-type]
-                    op="average",
-                    phase="factor_comm",
-                    comm_dtype=self.hp.comm_dtype,
-                )
-                if self.hp.symmetric_comm:
-                    reduced = unpack_symmetric(
-                        reduced, [m.dim for m in self._factor_metas]
-                    )
-                n = len(self.layers)
-                for i, layer in enumerate(self.layers):
-                    layer.A = reduced[i]
-                    layer.G = reduced[n + i]
-
-            if update_second_order:
-                if self.hp.strategy == COMM_OPT:
-                    yield from self._update_second_order_comm_opt()
-                elif self.hp.strategy == HYBRID:
-                    yield from self._update_second_order_hybrid()
-                else:
-                    self._update_second_order_layer_wise()
-                self.n_second_order_updates += 1
-
-        if self.hp.strategy == COMM_OPT:
-            self._precondition_all_local()
-        elif self.hp.strategy == HYBRID:
-            yield from self._precondition_hybrid()
-        else:
-            yield from self._precondition_layer_wise()
-
-        self.steps += 1
+        wire: list[int] | None = None
+        if update_factors and self.world_size > 1:
+            # per-factor wire bytes: triangular packing and compressed
+            # transport shrink the payloads the partition actually sees
+            codec = get_codec(self.hp.comm_dtype)
+            wire = []
+            for meta in self._factor_metas:
+                layer = self._layer_by_name(meta.layer)
+                factor = layer.A if meta.kind == "A" else layer.G
+                assert factor is not None, "plan built before factor update"
+                elems = tri_len(meta.dim) if self.hp.symmetric_comm else meta.dim**2
+                itemsize = codec.itemsize if codec is not None else factor.dtype.itemsize
+                wire.append(elems * itemsize)
+        groups: tuple = ()
+        bcast_entries: tuple = ()
+        if self.hp.strategy == HYBRID:
+            index = {m.key: i for i, m in enumerate(self._factor_metas)}
+            groups = tuple(
+                (grp, [index[m.key] for m in metas])
+                for grp, metas in self._group_metas
+            )
+            bcast_entries = tuple(
+                (root, [l.name for l in layers_r])
+                for root, layers_r, _ in self._bcast_plan
+            )
+        plan = build_step_plan(
+            strategy=self.hp.strategy,
+            world_size=self.world_size,
+            factor_metas=self._factor_metas,
+            layer_names=[l.name for l in self.layers],
+            groups=groups,
+            bcast_entries=bcast_entries,
+            wire_nbytes_list=wire,
+            bucket_bytes=self.hp.bucket_bytes,
+            update_factors=update_factors,
+            update_second_order=update_second_order,
+            pipelined=pipelined,
+        )
+        self._plans[key] = plan
+        return plan
 
     def _compress_factor_tensors(self, tensors: list[np.ndarray]) -> list[np.ndarray]:
         """Quantize factor payloads for compressed transport, with EF.
@@ -491,112 +540,6 @@ class KFAC:
             self._comm_ef.apply(meta.key, t)
             for meta, t in zip(self._factor_metas, tensors)
         ]
-
-    # -- pipelined factor exchange (shared by COMM_OPT and HYBRID) ---------
-    def _pipelined_factor_exchange(
-        self,
-        on_bucket: "Any",
-    ) -> Generator[Any, Any, tuple[list[list[FactorMeta]], float]]:
-        """Bucketed async factor allreduce, overlapped with per-bucket work.
-
-        The factor list (A's then G's, communication order) is split into
-        buckets of at most ``bucket_bytes`` — partitioned by *wire* bytes,
-        so triangular packing and compressed transport set the pipeline
-        depth.  While bucket ``b+1``'s allreduce is in flight, this rank
-        installs bucket ``b``'s reduced factors and then runs
-        ``on_bucket(b, bucket_metas, transport_dtype)``, which performs
-        this rank's second-order work for the bucket and returns
-        ``(compute_seconds, launches)``: simulated seconds to credit as
-        overlap against the next wait, plus any collectives to launch now
-        (COMM_OPT's chunked eigendecomposition allgathers).  Returns the
-        per-bucket meta lists and the trailing un-credited compute.
-        Numerically identical to the synchronous path (same reductions,
-        same decompositions, different interleaving).
-        """
-        symmetric = self.hp.symmetric_comm
-        codec = get_codec(self.hp.comm_dtype)
-        factors = [l.A for l in self.layers] + [l.G for l in self.layers]
-        metas = self._factor_metas  # same order as ``factors``
-        tensors = pack_symmetric(factors) if symmetric else factors
-        tensors = self._compress_factor_tensors(tensors)
-        buckets = partition_buckets(
-            [wire_nbytes(t, codec) for t in tensors], self.hp.bucket_bytes
-        )
-        # same promotion rule as the sync path's pack_arrays(dtype=None), so
-        # mixed-precision models keep their widest dtype in transit; pinned
-        # explicitly because ranks owning nothing in a chunk still must
-        # contribute an empty buffer of the matching dtype
-        transport_dtype = np.result_type(*tensors)
-
-        yield AllReduceLaunch(
-            tensors=[tensors[i] for i in buckets[0]],
-            op="average",
-            phase="factor_comm",
-            tag="fac:0",
-            comm_dtype=self.hp.comm_dtype,
-        )
-        pending_compute = 0.0
-        bucket_metas: list[list[FactorMeta]] = [[metas[i] for i in b] for b in buckets]
-        for b, bucket in enumerate(buckets):
-            reduced = yield WaitRequest(tag=f"fac:{b}", compute_seconds=pending_compute)
-            pending_compute = 0.0
-            for idx, arr in zip(bucket, reduced):
-                meta = metas[idx]
-                layer = self._layer_by_name(meta.layer)
-                if symmetric:
-                    arr = tri_unpack(arr, meta.dim)
-                if meta.kind == "A":
-                    layer.A = arr
-                else:
-                    layer.G = arr
-            if b + 1 < len(buckets):
-                yield AllReduceLaunch(
-                    tensors=[tensors[i] for i in buckets[b + 1]],
-                    op="average",
-                    phase="factor_comm",
-                    tag=f"fac:{b + 1}",
-                    comm_dtype=self.hp.comm_dtype,
-                )
-            # this rank's second-order work for the just-reduced bucket runs
-            # while the next bucket's allreduce is in flight
-            compute_seconds, launches = on_bucket(b, bucket_metas[b], transport_dtype)
-            pending_compute += compute_seconds
-            for launch in launches:
-                yield launch
-        return bucket_metas, pending_compute
-
-    # -- pipelined COMM_OPT factor + second-order update -------------------
-    def _pipelined_update_comm_opt(self) -> Generator[Any, Any, None]:
-        """Bucketed factor allreduce overlapped with eigendecompositions.
-
-        While bucket ``b+1``'s allreduce is in flight, this rank
-        decomposes the bucket-``b`` factors it owns and launches the
-        chunked allgather of those decompositions — so factor
-        communication hides behind second-order compute and only the
-        install points block.
-        """
-        eigen = self.hp.use_eigen_decomp
-
-        def on_bucket(
-            b: int, bucket_metas: list[FactorMeta], transport_dtype: np.dtype
-        ) -> tuple[float, list[Any]]:
-            computed = self._compute_owned_second_order(bucket_metas)
-            payload = [arr for meta in bucket_metas for arr in computed.get(meta.key, [])]
-            dims = [m.dim for m in bucket_metas if m.key in computed]
-            launch = AllGatherLaunch(
-                tensor=pack_arrays(payload, dtype=transport_dtype),
-                phase="eig_comm",
-                tag=f"eig:{b}",
-            )
-            return estimate_second_order_seconds(dims, eigen), [launch]
-
-        bucket_metas, pending_compute = yield from self._pipelined_factor_exchange(
-            on_bucket
-        )
-        for b, metas in enumerate(bucket_metas):
-            gathered = yield WaitRequest(tag=f"eig:{b}", compute_seconds=pending_compute)
-            pending_compute = 0.0
-            self._install_second_order_chunk(gathered, metas)
 
     def _install_second_order_chunk(
         self, gathered: Sequence[np.ndarray], chunk_metas: Sequence[FactorMeta]
@@ -629,90 +572,6 @@ class KFAC:
                     else:
                         layer.inv_G = inv
 
-    # -- COMM_OPT second-order update (Algorithm 1 steps 2 + allgather) ----
-    def _update_second_order_comm_opt(self) -> Generator[Any, Any, None]:
-        mine = [m for m in self._factor_metas if self._factor_assignment[m.key] == self.rank]
-        local_payload: list[np.ndarray] = []
-        for meta in mine:
-            layer = self._layer_by_name(meta.layer)
-            factor = layer.A if meta.kind == "A" else layer.G
-            assert factor is not None, "second-order update before factor update"
-            if self.hp.use_eigen_decomp:
-                eig = eigendecompose(factor)
-                local_payload.extend([eig.Q, eig.lam])
-            else:
-                local_payload.append(explicit_damped_inverse(factor, self.damping))
-            self.n_eigs_computed_locally += 1
-        flat = pack_arrays(local_payload)
-        if self.world_size > 1:
-            gathered = yield AllGatherRequest(tensor=flat, phase="eig_comm")
-        else:
-            gathered = [flat]
-        self._install_second_order(gathered)
-
-    def _install_second_order(self, gathered: Sequence[np.ndarray]) -> None:
-        """Unpack every worker's factor shard and install into layers."""
-        per_worker: dict[int, list[FactorMeta]] = {r: [] for r in range(self.world_size)}
-        for meta in self._factor_metas:
-            per_worker[self._factor_assignment[meta.key]].append(meta)
-        for worker, metas in per_worker.items():
-            shapes: list[tuple[int, ...]] = []
-            for meta in metas:
-                if self.hp.use_eigen_decomp:
-                    shapes.extend([(meta.dim, meta.dim), (meta.dim,)])
-                else:
-                    shapes.append((meta.dim, meta.dim))
-            arrays = unpack_arrays(gathered[worker], shapes)
-            idx = 0
-            for meta in metas:
-                layer = self._layer_by_name(meta.layer)
-                if self.hp.use_eigen_decomp:
-                    eig = FactorEig(Q=arrays[idx], lam=arrays[idx + 1])
-                    idx += 2
-                    if meta.kind == "A":
-                        layer.eig_A = eig
-                    else:
-                        layer.eig_G = eig
-                else:
-                    inv = arrays[idx]
-                    idx += 1
-                    if meta.kind == "A":
-                        layer.inv_A = inv
-                    else:
-                        layer.inv_G = inv
-
-    # -- LAYER_WISE second-order update (owner keeps state local) -----------
-    def _update_second_order_layer_wise(self) -> None:
-        for layer in self.layers:
-            if self._layer_assignment[layer.name] != self.rank:
-                continue
-            if self.hp.use_eigen_decomp:
-                layer.eig_A, layer.eig_G = layer.compute_eigen()
-                self.n_eigs_computed_locally += 2
-            else:
-                layer.inv_A, layer.inv_G = layer.compute_inverses(self.damping)
-                self.n_eigs_computed_locally += 2
-
-    # -- HYBRID (grad_worker_frac) second-order update ----------------------
-    def _compute_owned_second_order(
-        self, metas: Sequence[FactorMeta]
-    ) -> dict[str, list[np.ndarray]]:
-        """Eigendecompose/invert this rank's share of ``metas``; key by factor."""
-        payloads: dict[str, list[np.ndarray]] = {}
-        for meta in metas:
-            if self._factor_assignment[meta.key] != self.rank:
-                continue
-            layer = self._layer_by_name(meta.layer)
-            factor = layer.A if meta.kind == "A" else layer.G
-            assert factor is not None, "second-order update before factor update"
-            if self.hp.use_eigen_decomp:
-                eig = eigendecompose(factor)
-                payloads[meta.key] = [eig.Q, eig.lam]
-            else:
-                payloads[meta.key] = [explicit_damped_inverse(factor, self.damping)]
-            self.n_eigs_computed_locally += 1
-        return payloads
-
     def _install_factor_state(self, meta: FactorMeta, arrays: Sequence[np.ndarray]) -> None:
         """Install one factor's second-order payload into its layer."""
         layer = self._layer_by_name(meta.layer)
@@ -736,84 +595,6 @@ class KFAC:
             grouped.setdefault(self._placement.groups[meta.layer], []).append(meta)
         return list(grouped.items())
 
-    def _update_second_order_hybrid(self) -> Generator[Any, Any, None]:
-        """Each rank decomposes its owned factors, then groups share them."""
-        computed = self._compute_owned_second_order(self._factor_metas)
-        yield from self._share_second_order_hybrid(computed)
-
-    def _share_second_order_hybrid(
-        self, computed: dict[str, list[np.ndarray]]
-    ) -> Generator[Any, Any, None]:
-        """Share decompositions *within* each gradient-worker group.
-
-        One group allgather per distinct group — a ``g``-rank collective
-        instead of COMM_OPT's world allgather.  Singleton groups (the
-        LAYER_WISE endpoint) install locally with no communication; the
-        whole-world group (the COMM_OPT endpoint) degenerates to one
-        world-sized gather.  Ranks outside a group neither contribute nor
-        receive: they will get only the final preconditioned gradient.
-        """
-        for grp, metas in self._group_metas:
-            member_metas = {
-                r: [m for m in metas if self._factor_assignment[m.key] == r]
-                for r in grp
-            }
-            in_group = self.rank in grp
-            if len(grp) == 1:
-                if in_group:
-                    for meta in member_metas[self.rank]:
-                        self._install_factor_state(meta, computed[meta.key])
-                continue
-            flat: np.ndarray | None = None
-            if in_group:
-                mine = [a for m in member_metas[self.rank] for a in computed[m.key]]
-                flat = pack_arrays(mine)
-            gathered = yield GroupAllGatherRequest(
-                tensor=flat, ranks=grp, phase="eig_comm"
-            )
-            if not in_group:
-                continue
-            for r, buf in zip(grp, gathered):
-                shapes: list[tuple[int, ...]] = []
-                for meta in member_metas[r]:
-                    if self.hp.use_eigen_decomp:
-                        shapes.extend([(meta.dim, meta.dim), (meta.dim,)])
-                    else:
-                        shapes.append((meta.dim, meta.dim))
-                arrays = unpack_arrays(buf, shapes)
-                idx = 0
-                for meta in member_metas[r]:
-                    step = 2 if self.hp.use_eigen_decomp else 1
-                    self._install_factor_state(meta, arrays[idx : idx + step])
-                    idx += step
-
-    def _pipelined_update_hybrid(self) -> Generator[Any, Any, None]:
-        """Bucketed factor allreduce overlapped with owned decompositions.
-
-        Same launch/wait pipeline as :meth:`_pipelined_update_comm_opt`
-        for the factor stage — bucket ``b+1``'s allreduce hides behind
-        decomposing bucket ``b``'s owned factors — but the second-order
-        exchange that follows is the HYBRID group share, not a world
-        allgather.  Composes with ``symmetric_comm`` tri-packing and
-        ``comm_dtype`` codecs exactly like the COMM_OPT pipeline.
-        """
-        eigen = self.hp.use_eigen_decomp
-        computed: dict[str, list[np.ndarray]] = {}
-
-        def on_bucket(
-            b: int, bucket_metas: list[FactorMeta], transport_dtype: np.dtype
-        ) -> tuple[float, list[Any]]:
-            fresh = self._compute_owned_second_order(bucket_metas)
-            computed.update(fresh)
-            dims = [m.dim for m in bucket_metas if m.key in fresh]
-            return estimate_second_order_seconds(dims, eigen), []
-
-        # trailing bucket's decompositions have no later wait to credit
-        # against; the group share below is synchronous by design
-        yield from self._pipelined_factor_exchange(on_bucket)
-        yield from self._share_second_order_hybrid(computed)
-
-    # -- HYBRID preconditioning: local for grad workers, broadcast out ------
     def _build_broadcast_plan(self) -> list[tuple[int, list[KFACLayer], tuple[int, ...]]]:
         """Fuse per-layer grad broadcasts by (root, participant set).
 
@@ -833,78 +614,6 @@ class KFAC:
             )
             plan.setdefault((root, participants), []).append(layer)
         return [(root, layers, ranks) for (root, ranks), layers in plan.items()]
-
-    def _precondition_hybrid(self) -> Generator[Any, Any, None]:
-        """Grad workers precondition locally; the root broadcasts the rest.
-
-        Stage 1: every rank preconditions the layers whose gradient-worker
-        group it belongs to (all of them at ``f = 1``, its owned shard at
-        ``f = 1/P``).  Stage 2: for each group smaller than the world, the
-        group root broadcasts the fused preconditioned gradients to the
-        ranks outside the group.  Eq. 18 clipping then runs on the full
-        per-layer set, identically on every rank.
-        """
-        raw = [layer.get_grad_matrix() for layer in self.layers]
-        assert self._placement is not None
-        pre: dict[str, np.ndarray] = {}
-        for layer, g in zip(self.layers, raw):
-            if self._placement.is_grad_worker(self.rank, layer.name):
-                pre[layer.name] = layer.precondition(
-                    g, self.damping, self.hp.use_eigen_decomp
-                )
-        for root, layers_r, participants in self._bcast_plan:
-            payload: np.ndarray | None = None
-            if self.rank == root:
-                payload = pack_arrays([pre[l.name] for l in layers_r])
-            got = yield GroupBroadcastRequest(
-                tensor=payload, root=root, ranks=participants, phase="precond_comm"
-            )
-            if got is not None and self.rank != root:
-                shapes = [(l.g_dim, l.a_dim) for l in layers_r]
-                for l, arr in zip(layers_r, unpack_arrays(got, shapes)):
-                    pre[l.name] = arr
-        pre_list = [pre[layer.name] for layer in self.layers]
-        nu = kl_clip_factor(pre_list, raw, self.lr, self.hp.kl_clip)
-        for layer, p in zip(self.layers, pre_list):
-            layer.set_grad_matrix(nu * p)
-
-    # -- preconditioning ------------------------------------------------
-    def _precondition_all_local(self) -> None:
-        raw = [layer.get_grad_matrix() for layer in self.layers]
-        pre = [
-            layer.precondition(g, self.damping, self.hp.use_eigen_decomp)
-            for layer, g in zip(self.layers, raw)
-        ]
-        nu = kl_clip_factor(pre, raw, self.lr, self.hp.kl_clip)
-        for layer, p in zip(self.layers, pre):
-            layer.set_grad_matrix(nu * p)
-
-    def _precondition_layer_wise(self) -> Generator[Any, Any, None]:
-        raw = [layer.get_grad_matrix() for layer in self.layers]
-        mine_payload: list[np.ndarray] = []
-        for layer, g in zip(self.layers, raw):
-            if self._layer_assignment[layer.name] == self.rank:
-                mine_payload.append(
-                    layer.precondition(g, self.damping, self.hp.use_eigen_decomp)
-                )
-        flat = pack_arrays(mine_payload)
-        if self.world_size > 1:
-            gathered = yield AllGatherRequest(tensor=flat, phase="precond_comm")
-        else:
-            gathered = [flat]
-        pre_by_layer: dict[str, np.ndarray] = {}
-        for worker in range(self.world_size):
-            metas = [
-                layer for layer in self.layers if self._layer_assignment[layer.name] == worker
-            ]
-            shapes = [(l.g_dim, l.a_dim) for l in metas]
-            arrays = unpack_arrays(gathered[worker], shapes)
-            for l, arr in zip(metas, arrays):
-                pre_by_layer[l.name] = arr
-        pre = [pre_by_layer[layer.name] for layer in self.layers]
-        nu = kl_clip_factor(pre, raw, self.lr, self.hp.kl_clip)
-        for layer, p in zip(self.layers, pre):
-            layer.set_grad_matrix(nu * p)
 
     def _layer_by_name(self, name: str) -> KFACLayer:
         for layer in self.layers:

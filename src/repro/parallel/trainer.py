@@ -24,7 +24,7 @@ from typing import Callable
 import numpy as np
 
 from repro.comm.backend import World
-from repro.comm.engine import CommEngine
+from repro.comm.engine import CommEngine, task_overlap_profile
 from repro.core.distributed import PhaseController
 from repro.core.preconditioner import KFAC, KFACHyperParams
 from repro.data.loader import batch_iterator
@@ -132,6 +132,10 @@ class TrainingHistory:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     comm_seconds: dict[str, float] = field(default_factory=dict)
     comm_hidden_seconds: dict[str, float] = field(default_factory=dict)
+    #: exposed/hidden seconds keyed by scheduler task kind (``FactorComm``,
+    #: ``EigShare``, ``GradShare``, ``GradAllReduce``) — the per-task view
+    #: of the same overlap ledger (:func:`repro.comm.engine.task_overlap_profile`)
+    comm_task_profile: dict[str, dict[str, float]] = field(default_factory=dict)
     comm_bytes: dict[str, float] = field(default_factory=dict)
     total_iterations: int = 0
     grad_fusion_flushes: int = 0
@@ -433,6 +437,7 @@ class DataParallelTrainer:
         history.comm_hidden_seconds = {
             p: h for p, h in self.world.overlap.hidden_by_phase.items() if h > 0.0
         }
+        history.comm_task_profile = task_overlap_profile(self.world.overlap)
         history.comm_bytes = dict(self.world.stats.bytes_by_phase)
         history.grad_fusion_flushes = self._grad_fusion.flush_count
         history.precision = self.policy.name

@@ -547,6 +547,39 @@ class IterationModel:
         launches = self.cluster.op_launch * self.model.n_factors * 2 * g / p
         return per_rank_windows * allgather_time(per_group, g, self.cluster.net) + launches
 
+    def hybrid_share_exposed_time(
+        self, p: int, grad_worker_frac: float, precision: str = "fp32"
+    ) -> float:
+        """Exposed group eigenbasis-share seconds under the graph scheduler.
+
+        The task-graph scheduler (``KFAC(scheduler="graph")``) launches
+        each group's allgather as soon as its members' eigendecompositions
+        finish, so all but the first of the ``min(p, n_layers)`` group
+        windows can hide behind the replicated in-group preconditioning
+        and the next iteration's forward/backward pass.  Only the first
+        window's latency plus whatever the remainder overflows that
+        budget stays on the critical path.  The retired hand-written
+        hybrid pipeline ran the share synchronously, so this is strictly
+        below :meth:`eig_group_comm_time` whenever more than one window
+        exists and the overlap budget is positive.  ``f = 1`` degenerates
+        to the single world allgather (no intra-stage overlap — the
+        COMM_OPT bucketed numbers apply instead); ``f = 1/p`` to zero.
+        """
+        total = self.eig_group_comm_time(p, grad_worker_frac)
+        if total <= 0.0:
+            return 0.0
+        g = grad_worker_count(p, grad_worker_frac)
+        n_windows = 1 if g >= p else min(p, self.n_layers)
+        if n_windows <= 1:
+            return total
+        budget = (
+            self.hybrid_precondition_time(p, grad_worker_frac)
+            + self.forward_time(precision)
+            + self.backward_time(precision)
+        )
+        first = total / n_windows
+        return first + max(0.0, (total - first) - budget)
+
     def hybrid_eig_stage_time(
         self, p: int, grad_worker_frac: float, policy: str = "round_robin"
     ) -> float:
@@ -633,6 +666,7 @@ class IterationModel:
         symmetric: bool = False,
         precision: str = "fp32",
         grad_worker_frac: float | None = None,
+        scheduler: str | None = None,
     ) -> float:
         """Average per-iteration time including amortized K-FAC stages.
 
@@ -649,7 +683,18 @@ class IterationModel:
         KAISA-style placement: group eigenbasis share, replicated
         in-group preconditioning, and the per-iteration second-stage
         broadcast; ``f = 1`` reproduces the comm-opt numbers exactly.
+        ``scheduler="graph"`` prices the dependency-graph task scheduler
+        (pipelined factor buckets, and for hybrid the overlapped group
+        share of :meth:`hybrid_share_exposed_time`); ``"sync"`` the
+        synchronous stream; ``None`` defers to the ``pipelined`` flag
+        (the retired hand-written pipelines).
         """
+        if scheduler is not None:
+            if scheduler not in ("sync", "graph"):
+                raise ValueError(
+                    f"scheduler must be 'sync' or 'graph', got {scheduler!r}"
+                )
+            pipelined = scheduler == "graph"
         base = self.sgd_iteration_time(p, precision)
         if strategy == "hybrid":
             if grad_worker_frac is None:
@@ -665,9 +710,12 @@ class IterationModel:
                 + self.factor_capture_overhead()
                 + fac_comm
             )
-            per_eig = self.hybrid_eig_stage_time(
-                p, grad_worker_frac, policy
-            ) + self.eig_group_comm_time(p, grad_worker_frac)
+            share_comm = (
+                self.hybrid_share_exposed_time(p, grad_worker_frac, precision)
+                if scheduler == "graph"
+                else self.eig_group_comm_time(p, grad_worker_frac)
+            )
+            per_eig = self.hybrid_eig_stage_time(p, grad_worker_frac, policy) + share_comm
             per_iter = self.hybrid_precondition_time(
                 p, grad_worker_frac
             ) + self.precond_share_time(p, grad_worker_frac)
@@ -737,6 +785,7 @@ class IterationModel:
         symmetric: bool = False,
         precision: str = "fp32",
         grad_worker_frac: float | None = None,
+        scheduler: str | None = None,
     ) -> StageProfile:
         """Per-update-step stage profile (the paper's Table V row).
 
@@ -754,7 +803,22 @@ class IterationModel:
         allgather, a non-zero ``precond_tcomm`` second stage, and the
         per-rank memory/volume fields that trace the memory-vs-comm
         Pareto frontier (``f=1`` reproduces the COMM_OPT profile).
+
+        ``scheduler`` prices a named execution route: ``"graph"`` is the
+        dependency-graph task scheduler (pipelined factor buckets AND
+        overlapped hybrid group shares — the exposed eig comm follows
+        :meth:`hybrid_share_exposed_time`); ``"sync"`` the synchronous
+        request stream.  ``None`` defers to the legacy ``pipelined``
+        flag, which models the retired hand-written pipelines (hybrid
+        overlapped the factor stage only, leaving the group share fully
+        exposed).
         """
+        if scheduler is not None:
+            if scheduler not in ("sync", "graph"):
+                raise ValueError(
+                    f"scheduler must be 'sync' or 'graph', got {scheduler!r}"
+                )
+            pipelined = scheduler == "graph"
         fac_comm = self.factor_comm_time(p, packed=symmetric, precision=precision)
         if grad_worker_frac is None:
             eig_comm = self.eig_comm_time(p)
@@ -773,9 +837,16 @@ class IterationModel:
                 p, policy, bucket_bytes, symmetric, precision
             )
             if grad_worker_frac is not None:
-                # hybrid pipelines the factor stage only; the group share
-                # stays synchronous (see KFAC._pipelined_update_hybrid)
-                eig_exposed = eig_comm
+                if scheduler == "graph":
+                    # group shares are schedulable nodes: all but the first
+                    # window hides behind preconditioning + fwd/bwd
+                    eig_exposed = self.hybrid_share_exposed_time(
+                        p, grad_worker_frac, precision
+                    )
+                else:
+                    # the retired hand-written hybrid pipeline overlapped
+                    # the factor stage only; its group share ran synchronous
+                    eig_exposed = eig_comm
         else:
             fac_exposed, eig_exposed = fac_comm, eig_comm
         return StageProfile(

@@ -1,0 +1,48 @@
+"""Dependency-graph task scheduler for the K-FAC update step.
+
+The three hand-written K-FAC pipelines (synchronous, pipelined COMM_OPT,
+pipelined HYBRID) are unified here, SPD-KFAC style:
+
+- :mod:`repro.sched.graph` — :class:`Task`/:class:`TaskGraph`: per-layer
+  task nodes (``FactorComm``, ``Eig``, ``EigShare``, ``Precondition``,
+  ``GradShare``) with explicit data-dependency edges, deterministic
+  topological ordering, and a schedule linter;
+- :mod:`repro.sched.planner` — derive a :class:`StepPlan` from the
+  factor/layer assignment for any ``grad_worker_frac`` in ``[1/P, 1]``,
+  with bucket-partition and tensor-fusion decisions priced by the
+  :mod:`repro.comm.costmodel` rates;
+- :mod:`repro.sched.executor` — :class:`GraphExecutor` runs the plan over
+  the launch/wait step-generator protocol of :mod:`repro.core.comm_ops`,
+  so the existing drivers execute it unchanged.
+
+Select it with ``KFAC(scheduler="graph")`` (``"sync"`` reproduces the
+retired synchronous request stream bit-for-bit).
+"""
+
+from repro.sched.graph import (
+    TASK_KINDS,
+    SchedulerError,
+    Task,
+    TaskGraph,
+    lint_schedule,
+)
+from repro.sched.planner import (
+    StepPlan,
+    build_step_plan,
+    choose_bucket_bytes,
+    plan_buckets,
+)
+from repro.sched.executor import GraphExecutor
+
+__all__ = [
+    "TASK_KINDS",
+    "Task",
+    "TaskGraph",
+    "SchedulerError",
+    "lint_schedule",
+    "StepPlan",
+    "build_step_plan",
+    "choose_bucket_bytes",
+    "plan_buckets",
+    "GraphExecutor",
+]

@@ -53,7 +53,7 @@ def _mlp_data(n: int = 16, dtype=np.float64):
 def run_phase_preconditioned(
     world_size: int,
     steps: int = 3,
-    async_comm: bool = False,
+    scheduler: str = "sync",
     bucket_bytes: int = 1 << 12,
     use_eigen: bool = True,
     assignment: str = "round_robin",
@@ -76,7 +76,7 @@ def run_phase_preconditioned(
             kfac_update_freq=1,
             use_eigen_decomp=use_eigen,
             assignment=assignment,
-            async_comm=async_comm,
+            scheduler=scheduler,
             bucket_bytes=bucket_bytes,
         )
         for r, m in enumerate(models)
@@ -116,8 +116,8 @@ class TestPipelinedEquivalence:
     def test_overlap_on_off_identical_preconditioned_grads(self, world_size):
         """One sync and one async step from identical state: same dtype,
         gradients equal within atol 1e-6 (the acceptance bound)."""
-        sync, _ = run_phase_preconditioned(world_size, steps=1, async_comm=False)
-        pipe, _ = run_phase_preconditioned(world_size, steps=1, async_comm=True)
+        sync, _ = run_phase_preconditioned(world_size, steps=1, scheduler="sync")
+        pipe, _ = run_phase_preconditioned(world_size, steps=1, scheduler="graph")
         for key in sync:
             assert pipe[key].dtype == sync[key].dtype
             np.testing.assert_allclose(
@@ -128,35 +128,35 @@ class TestPipelinedEquivalence:
     def test_overlap_trajectory_stays_close(self, world_size):
         """Multi-step trajectories only drift by float32 reassociation
         noise (bucketed ring reductions re-order additions)."""
-        sync, _ = run_phase_preconditioned(world_size, steps=3, async_comm=False)
-        pipe, _ = run_phase_preconditioned(world_size, steps=3, async_comm=True)
+        sync, _ = run_phase_preconditioned(world_size, steps=3, scheduler="sync")
+        pipe, _ = run_phase_preconditioned(world_size, steps=3, scheduler="graph")
         for key in sync:
             np.testing.assert_allclose(
                 pipe[key], sync[key], atol=2e-5, rtol=2e-4, err_msg=key
             )
 
     def test_overlap_with_inverse_mode(self):
-        sync, _ = run_phase_preconditioned(2, steps=1, use_eigen=False, async_comm=False)
-        pipe, _ = run_phase_preconditioned(2, steps=1, use_eigen=False, async_comm=True)
+        sync, _ = run_phase_preconditioned(2, steps=1, use_eigen=False, scheduler="sync")
+        pipe, _ = run_phase_preconditioned(2, steps=1, use_eigen=False, scheduler="graph")
         for key in sync:
             np.testing.assert_allclose(pipe[key], sync[key], atol=1e-6, rtol=1e-6)
 
     def test_overlap_with_greedy_assignment(self):
-        sync, _ = run_phase_preconditioned(3, steps=1, assignment="greedy", async_comm=False)
-        pipe, _ = run_phase_preconditioned(3, steps=1, assignment="greedy", async_comm=True)
+        sync, _ = run_phase_preconditioned(3, steps=1, assignment="greedy", scheduler="sync")
+        pipe, _ = run_phase_preconditioned(3, steps=1, assignment="greedy", scheduler="graph")
         for key in sync:
             np.testing.assert_allclose(pipe[key], sync[key], atol=1e-6, rtol=1e-6)
 
     def test_single_bucket_pipeline_matches_sync(self):
         """A bucket big enough for everything still exercises launch/wait."""
-        sync, _ = run_phase_preconditioned(2, async_comm=False)
-        pipe, _ = run_phase_preconditioned(2, async_comm=True, bucket_bytes=1 << 30)
+        sync, _ = run_phase_preconditioned(2, scheduler="sync")
+        pipe, _ = run_phase_preconditioned(2, scheduler="graph", bucket_bytes=1 << 30)
         for key in sync:
             np.testing.assert_allclose(pipe[key], sync[key], atol=1e-6, rtol=1e-6)
 
     def test_async_reports_hidden_comm(self):
-        _, w_sync = run_phase_preconditioned(4, async_comm=False)
-        _, w_pipe = run_phase_preconditioned(4, async_comm=True)
+        _, w_sync = run_phase_preconditioned(4, scheduler="sync")
+        _, w_pipe = run_phase_preconditioned(4, scheduler="graph")
         assert w_sync.overlap.total_hidden() == 0.0
         assert w_pipe.overlap.total_hidden() > 0.0
         # exposed + hidden must equal the phase's total accounted comm
@@ -168,7 +168,7 @@ class TestPipelinedEquivalence:
             )
 
     def test_spmd_async_matches_phase_async(self):
-        phase, _ = run_phase_preconditioned(2, async_comm=True)
+        phase, _ = run_phase_preconditioned(2, scheduler="graph")
 
         world = World(2)
         rng = np.random.default_rng(0)
@@ -184,7 +184,7 @@ class TestPipelinedEquivalence:
                 damping=0.01,
                 fac_update_freq=1,
                 kfac_update_freq=1,
-                async_comm=True,
+                scheduler="graph",
                 bucket_bytes=1 << 12,
             )
             drv = SPMDDriver(kfac, HorovodContext(view))
@@ -214,8 +214,8 @@ class TestPipelinedEquivalence:
 class TestCommDtypePreservation:
     """Regression: pack_arrays used to hard-code float32 transport."""
 
-    @pytest.mark.parametrize("async_comm", [False, True])
-    def test_float64_multi_worker_matches_single_worker(self, async_comm):
+    @pytest.mark.parametrize("scheduler", ["sync", "graph"])
+    def test_float64_multi_worker_matches_single_worker(self, scheduler):
         data = _mlp_data()
 
         # single-worker reference (no communication at all)
@@ -233,7 +233,7 @@ class TestCommDtypePreservation:
         dist, _ = run_phase_preconditioned(
             2,
             steps=1,
-            async_comm=async_comm,
+            scheduler=scheduler,
             model_factory=lambda seed: build_f64_mlp(),
             data=data,
         )
@@ -251,7 +251,7 @@ class TestCommDtypePreservation:
         world = World(2)
         models = [build_f64_mlp() for _ in range(2)]
         kfacs = [
-            KFAC(m, rank=r, world_size=2, damping=0.01, async_comm=True,
+            KFAC(m, rank=r, world_size=2, damping=0.01, scheduler="graph",
                  bucket_bytes=256, fac_update_freq=1, kfac_update_freq=1)
             for r, m in enumerate(models)
         ]

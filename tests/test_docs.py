@@ -38,6 +38,7 @@ PACKAGES = [
     "repro.optim",
     "repro.parallel",
     "repro.perfmodel",
+    "repro.sched",
     "repro.precision",
     "repro.tensor",
     "repro.utils",
@@ -147,6 +148,7 @@ class TestDocsTree:
             "precision.md",
             "communication.md",
             "perfmodel.md",
+            "scheduler.md",
         }
         present = {p.name for p in DOC_PAGES}
         assert required <= present, f"missing docs pages: {required - present}"

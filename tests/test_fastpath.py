@@ -314,13 +314,13 @@ class TestPackedPayload:
 
     def test_pipelined_path_ships_triangles(self):
         kfac, ctrl = _run_steps_recording(
-            symmetric_comm=True, async_comm=True, bucket_bytes=1 << 12, steps=1
+            symmetric_comm=True, scheduler="graph", bucket_bytes=1 << 12, steps=1
         )
         assert sorted(ctrl.factor_shapes) == sorted(self._expected(kfac, packed=True))
 
     def test_pipelined_path_full_when_disabled(self):
         kfac, ctrl = _run_steps_recording(
-            symmetric_comm=False, async_comm=True, bucket_bytes=1 << 12, steps=1
+            symmetric_comm=False, scheduler="graph", bucket_bytes=1 << 12, steps=1
         )
         assert sorted(ctrl.factor_shapes) == sorted(self._expected(kfac, packed=False))
 

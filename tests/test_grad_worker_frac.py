@@ -320,7 +320,7 @@ class TestDrivers:
     def test_pipelined_matches_sync(self, world_size, frac):
         sync = run_hybrid(world_size, grad_worker_frac=frac)
         pipe = run_hybrid(
-            world_size, grad_worker_frac=frac, async_comm=True, bucket_bytes=4096
+            world_size, grad_worker_frac=frac, scheduler="graph", bucket_bytes=4096
         )
         for key in sync:
             np.testing.assert_allclose(
@@ -328,9 +328,9 @@ class TestDrivers:
             )
 
     def test_pipelined_spmd_matches_pipelined_phase(self):
-        phase = run_hybrid(4, grad_worker_frac=0.5, async_comm=True, bucket_bytes=4096)
+        phase = run_hybrid(4, grad_worker_frac=0.5, scheduler="graph", bucket_bytes=4096)
         spmd = run_hybrid(
-            4, grad_worker_frac=0.5, async_comm=True, bucket_bytes=4096, driver="spmd"
+            4, grad_worker_frac=0.5, scheduler="graph", bucket_bytes=4096, driver="spmd"
         )
         for key in phase:
             np.testing.assert_allclose(

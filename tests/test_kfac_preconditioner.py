@@ -63,9 +63,18 @@ class TestConstruction:
             KFAC(tiny_cnn, kfac_update_frequency=10)  # typo'd key is named
 
     def test_valid_overrides_still_accepted(self, tiny_cnn):
-        kfac = KFAC(tiny_cnn, kfac_update_freq=7, async_comm=True)
+        kfac = KFAC(tiny_cnn, kfac_update_freq=7, scheduler="graph")
         assert kfac.hp.kfac_update_freq == 7
-        assert kfac.hp.async_comm is True
+        assert kfac.hp.scheduler == "graph"
+
+    def test_async_comm_alias_deprecated(self, tiny_cnn):
+        with pytest.warns(DeprecationWarning, match="async_comm"):
+            kfac = KFAC(tiny_cnn, async_comm=True)
+        assert kfac.hp.scheduler == "graph"
+        assert kfac.hp.async_comm is None  # normalized: alias resolved
+        with pytest.warns(DeprecationWarning, match="async_comm"):
+            kfac = KFAC(tiny_cnn, async_comm=False)
+        assert kfac.hp.scheduler == "sync"
 
     def test_factor_metas_order(self, tiny_cnn):
         kfac = KFAC(tiny_cnn)

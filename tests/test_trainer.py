@@ -90,12 +90,12 @@ class TestTraining:
         assert hist.comm_bytes["grad_allreduce"] == grad_bytes * hist.total_iterations
 
     def test_pipelined_kfac_trainer_matches_sync(self, small_data):
-        """End-to-end: async_comm=True trains to the same weights and
+        """End-to-end: scheduler="graph" trains to the same weights and
         reports hidden factor-comm seconds."""
         kf_sync = KFACHyperParams(kfac_update_freq=2, fac_update_freq=1, damping=0.01)
         kf_pipe = KFACHyperParams(
             kfac_update_freq=2, fac_update_freq=1, damping=0.01,
-            async_comm=True, bucket_bytes=1 << 12,
+            scheduler="graph", bucket_bytes=1 << 12,
         )
         tr_sync = make_trainer(small_data, world_size=2, epochs=1, kfac=kf_sync)
         tr_pipe = make_trainer(small_data, world_size=2, epochs=1, kfac=kf_pipe)
