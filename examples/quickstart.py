@@ -21,8 +21,14 @@ path of Algorithm 1, strategy K-FAC-opt.
 end: autocast forward/backward, dynamic loss scaling with
 skip-step-and-rescale, compressed gradient *and* factor collectives.
 
+``--save PATH`` writes a world-size-portable checkpoint after the last
+step (K-FAC state gathered across ranks); ``--resume PATH`` continues
+from one — at *any* worker count, since the bundle is redistributed for
+the current placement on load.
+
 Run:  python examples/quickstart.py [--workers 4] [--steps 30]
                                     [--precision {fp32,fp16,bf16}]
+                                    [--save ckpt] [--resume ckpt]
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.comm.horovod import DistributedOptimizer, HorovodContext
 from repro.core.distributed import SPMDDriver
 from repro.core.preconditioner import KFAC
 from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec
+from repro.elastic import Checkpoint, broadcast_scaler_state, gather_state_dict
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.metrics import topk_accuracy
 from repro.nn.resnet import resnet20_cifar
@@ -52,6 +59,10 @@ def main() -> None:
     parser.add_argument("--lr", type=float, default=0.2)
     parser.add_argument("--precision", choices=["fp32", "fp16", "bf16"],
                         default="fp32", help="mixed-precision policy")
+    parser.add_argument("--save", default=None, metavar="PATH",
+                        help="write a portable checkpoint after the last step")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="resume from a checkpoint (any worker count)")
     args = parser.parse_args()
     policy = resolve_policy(args.precision)
 
@@ -84,9 +95,26 @@ def main() -> None:
         driver = SPMDDriver(preconditioner, hvd)
         criterion = CrossEntropyLoss(label_smoothing=0.1)
 
+        start_step = 0
+        if args.resume:
+            # every rank reads the file; the portable K-FAC bundle is
+            # redistributed for THIS world size on load, and the loss
+            # scale is re-shared from rank 0 so no replica diverges
+            payload = Checkpoint(args.resume).load()
+            model.load_state_dict(payload["model"])
+            optimizer.load_state_dict(payload["optimizer"])
+            if payload["kfac"] is not None:
+                preconditioner.load_state_dict(payload["kfac"])
+            if hvd.rank() == 0 and payload["grad_scaler"] is not None:
+                scaler.load_state_dict(payload["grad_scaler"])
+            broadcast_scaler_state(scaler, hvd, root=0)
+            start_step = payload["step"]
+            if hvd.rank() == 0:
+                print(f"resumed from step {start_step}")
+
         indices = shard_indices(len(tx), hvd.size(), hvd.rank(), seed=0, epoch=0)
         skipped = 0
-        for step in range(args.steps):
+        for step in range(start_step, start_step + args.steps):
             lo = (step * args.batch) % max(1, len(indices) - args.batch)
             idx = indices[lo : lo + args.batch]
             optimizer.zero_grad()
@@ -113,6 +141,18 @@ def main() -> None:
                 print(f"step {step:3d}  loss {loss:.4f}")
         if hvd.rank() == 0 and scaler.enabled:
             print(f"loss scale {scaler.scale:g}, {skipped} overflow-skipped steps")
+
+        if args.save:
+            # the gather is a collective (every rank contributes its owned
+            # second-order shards); only rank 0 touches the filesystem
+            bundle = gather_state_dict(preconditioner, hvd=hvd)
+            if hvd.rank() == 0:
+                ckpt = Checkpoint(args.save)
+                ckpt.save(ckpt.capture(
+                    model=model, optimizer=optimizer, kfac_state=bundle,
+                    grad_scaler=scaler, step=start_step + args.steps,
+                ))
+                print(f"saved checkpoint at step {start_step + args.steps}")
 
         model.eval()
         accuracy = topk_accuracy(model(vx), vy)

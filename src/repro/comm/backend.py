@@ -36,6 +36,7 @@ from repro.comm.collectives import (
     ring_reduce_scatter,
 )
 from repro.comm.compression import WireCodec, get_codec, wire_nbytes
+from repro.comm.faults import CollectiveError, FaultPlan
 from repro.comm.costmodel import (
     EDR_LIKE,
     NetworkProfile,
@@ -152,6 +153,34 @@ class World:
         # across iterations without racing slow consumers
         self._generation: dict[tuple[str, str, int], int] = {}
         self._spmd_failed: BaseException | None = None
+        # fault/straggler injection (repro.comm.faults); None = clean fleet
+        self.fault_plan: FaultPlan | None = None
+        self.current_step = 0
+
+    def begin_step(self, step: int) -> None:
+        """Advance the fault-injection step clock (no-op without a plan).
+
+        Example
+        -------
+        >>> from repro.comm.backend import World
+        >>> w = World(2)
+        >>> w.begin_step(3)
+        >>> w.current_step
+        3
+        """
+        self.current_step = int(step)
+
+    def _fault_gate(self, phase: str, group: Sequence[int] | None = None) -> float:
+        """Consult the fault plan for one collective.
+
+        Raises :class:`~repro.comm.faults.CollectiveError` for injected
+        failures/dead ranks; returns extra straggler/latency seconds to
+        fold into the op's simulated cost.
+        """
+        if self.fault_plan is None:
+            return 0.0
+        members = tuple(range(self.size)) if group is None else tuple(group)
+        return self.fault_plan.apply(self.current_step, phase, members)
 
     # ------------------------------------------------------------------
     # phase-style synchronous API
@@ -202,6 +231,7 @@ class World:
         bufs = list(buffers)
         if len(bufs) != self.size:
             raise ValueError(f"expected {self.size} buffers, got {len(bufs)}")
+        extra = self._fault_gate(phase)
         codec = get_codec(codec)
         # non-finite payloads are legitimate here: AMP overflow steps ship
         # saturated values and detect them *after* the reduce, so the ring
@@ -219,7 +249,7 @@ class World:
                 raise ValueError(f"unknown reduction op {op!r}")
             if codec is not None:
                 out = [codec.quantize(o) for o in out]
-        t = allreduce_time(nbytes, self.size, self.net)
+        t = allreduce_time(nbytes, self.size, self.net) + extra
         self.stats.record(phase, nbytes)
         return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
 
@@ -236,9 +266,10 @@ class World:
         contribs = list(contributions)
         if len(contribs) != self.size:
             raise ValueError(f"expected {self.size} contributions, got {len(contribs)}")
+        extra = self._fault_gate(phase)
         total = float(sum(c.nbytes for c in contribs))
         out = ring_allgather(contribs)
-        t = allgather_time(total, self.size, self.net)
+        t = allgather_time(total, self.size, self.net) + extra
         self.stats.record(phase, total)
         return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
 
@@ -246,8 +277,10 @@ class World:
         self, value: np.ndarray, root: int = 0, phase: str = "broadcast"
     ) -> list[np.ndarray]:
         """Binomial broadcast from ``root``; returns one copy per rank."""
+        extra = self._fault_gate(phase)
         out = binomial_broadcast(value, self.size, root)
-        self._charge(phase, broadcast_time(value.nbytes, self.size, self.net), value.nbytes)
+        t = broadcast_time(value.nbytes, self.size, self.net) + extra
+        self._charge(phase, t, value.nbytes)
         return out
 
     def group_allgather(
@@ -282,11 +315,16 @@ class World:
             raise ValueError(f"expected {len(group)} contributions, got {len(contribs)}")
         if len(set(group)) != len(group) or any(not 0 <= r < self.size for r in group):
             raise ValueError(f"invalid group ranks {group} for world size {self.size}")
+        extra = self._fault_gate(phase, group)
         if len(group) == 1:
+            if extra:
+                return InFlightHandle(
+                    [[contribs[0]]], extra, lambda ov: self._settle_async(phase, extra, ov)
+                )
             return InFlightHandle([[contribs[0]]], 0.0, lambda ov: None)
         total = float(sum(c.nbytes for c in contribs))
         out = ring_allgather(contribs)
-        t = allgather_time(total, len(group), self.net)
+        t = allgather_time(total, len(group), self.net) + extra
         self.stats.record(phase, total)
         return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
 
@@ -318,10 +356,15 @@ class World:
             raise ValueError(f"root {root} not in group {group}")
         if len(set(group)) != len(group) or any(not 0 <= r < self.size for r in group):
             raise ValueError(f"invalid group ranks {group} for world size {self.size}")
+        extra = self._fault_gate(phase, group)
         if len(group) == 1:
+            if extra:
+                return InFlightHandle(
+                    [value], extra, lambda ov: self._settle_async(phase, extra, ov)
+                )
             return InFlightHandle([value], 0.0, lambda ov: None)
         out = binomial_broadcast(value, len(group), group.index(root))
-        t = broadcast_time(value.nbytes, len(group), self.net)
+        t = broadcast_time(value.nbytes, len(group), self.net) + extra
         self.stats.record(phase, float(value.nbytes))
         return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
 
@@ -332,9 +375,11 @@ class World:
         bufs = list(buffers)
         if len(bufs) != self.size:
             raise ValueError(f"expected {self.size} buffers, got {len(bufs)}")
+        extra = self._fault_gate(phase)
         nbytes = bufs[0].nbytes
         out = ring_reduce_scatter(bufs)
-        self._charge(phase, reduce_scatter_time(nbytes, self.size, self.net), nbytes)
+        t = reduce_scatter_time(nbytes, self.size, self.net) + extra
+        self._charge(phase, t, nbytes)
         return out
 
     # ------------------------------------------------------------------
@@ -426,10 +471,17 @@ class World:
             )
             if len(pending) == len(group):
                 ordered = [pending[r] for r in group]
-                values = self._execute(
-                    kind, ordered, meta, self._overlap_budget.pop(key, 0.0)
-                )
-                self._results[key] = dict(zip(group, values))
+                try:
+                    values = self._execute(
+                        kind, ordered, meta, self._overlap_budget.pop(key, 0.0)
+                    )
+                except CollectiveError as exc:
+                    # deliver the failure to every member in lockstep: each
+                    # rank re-raises the same error on consume, so all ranks
+                    # observe (and can retry) the op identically
+                    self._results[key] = {r: exc for r in group}
+                else:
+                    self._results[key] = dict(zip(group, values))
                 self._consumed[key] = 0
                 self._lock.notify_all()
             else:
@@ -453,6 +505,8 @@ class World:
                 del self._pending[key]
                 del self._consumed[key]
                 del self._op_meta[key]
+            if isinstance(result, CollectiveError):
+                raise result
             return result
 
     def _execute(
@@ -494,6 +548,15 @@ class RankView:
     @property
     def size(self) -> int:
         return self.world.size
+
+    def begin_step(self, step: int) -> None:
+        """Advance the shared fault-injection step clock from this rank.
+
+        All ranks of an SPMD program call this with the same step value
+        at the same loop point, so the benign last-writer-wins race is
+        invisible.
+        """
+        self.world.begin_step(step)
 
     def allreduce(
         self,

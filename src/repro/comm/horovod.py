@@ -284,3 +284,17 @@ class DistributedOptimizer:
             self.synchronize()
         self.optimizer.step()
         self._synchronized = False
+
+    def state_dict(self) -> dict:
+        """The wrapped optimizer's snapshot (momentum buffers etc.).
+
+        Checkpoint/resume passthrough: the wrapper itself holds no
+        persistent numeric state (error-feedback residuals are transient
+        within a scale window), so saving and restoring the inner
+        optimizer is sufficient for an elastic resume.
+        """
+        return self.optimizer.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the wrapped optimizer from :meth:`state_dict`."""
+        self.optimizer.load_state_dict(state)

@@ -27,6 +27,7 @@ from typing import Any, Generator, Sequence
 import numpy as np
 
 from repro.comm.backend import World
+from repro.comm.faults import CollectiveError, CollectiveFailed, RetryPolicy
 from repro.comm.handles import Handle, LaunchedHandle
 from repro.comm.horovod import HorovodContext
 from repro.core.comm_ops import (
@@ -116,7 +117,12 @@ class PhaseController:
     True
     """
 
-    def __init__(self, kfacs: Sequence[KFAC], world: World) -> None:
+    def __init__(
+        self,
+        kfacs: Sequence[KFAC],
+        world: World,
+        retry_policy: RetryPolicy | None = RetryPolicy(),
+    ) -> None:
         if len(kfacs) != world.size:
             raise ValueError(f"got {len(kfacs)} KFAC replicas for world size {world.size}")
         for i, k in enumerate(kfacs):
@@ -127,6 +133,41 @@ class PhaseController:
                 )
         self.kfacs = list(kfacs)
         self.world = world
+        #: bounded retry-with-backoff for failed collectives; ``None``
+        #: propagates the first :class:`CollectiveError` unchanged
+        self.retry_policy = retry_policy
+        self.comm_retries = 0
+        self.comm_fallbacks = 0
+
+    def _with_retry(self, phase: str, attempt_fn: Any) -> Any:
+        """Run a collective with bounded retry-with-backoff.
+
+        Returns the collective's result, or a :class:`CollectiveFailed`
+        sentinel when the retry budget is exhausted on a degradable phase
+        (the step generator then falls back to stale state); re-raises on
+        any other phase.  Backoff seconds are charged to the
+        ``retry_backoff`` timer phase so degraded steps are visible in the
+        simulated time ledger.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return attempt_fn()
+            except CollectiveError as exc:
+                if policy is None:
+                    raise
+                if attempt < policy.max_retries:
+                    backoff = policy.backoff(attempt)
+                    self.world.timers.charge("retry_backoff", backoff)
+                    self.world.overlap.record("retry_backoff", backoff, 0.0)
+                    self.comm_retries += 1
+                    attempt += 1
+                    continue
+                if phase in policy.fallback_phases:
+                    self.comm_fallbacks += 1
+                    return CollectiveFailed(phase=phase, error=exc)
+                raise
 
     def step(self) -> None:
         """Execute one K-FAC step on every replica, in lockstep.
@@ -177,14 +218,24 @@ class PhaseController:
             if [t.shape for t in req.tensors] != shapes:
                 raise RuntimeError(f"rank {r} allreduce shapes diverged")
         fused = [pack_arrays(req.tensors) for req in reqs]
-        reduced = self.world.allreduce(
-            fused, op=reqs[0].op, phase=reqs[0].phase, codec=reqs[0].comm_dtype
+        reduced = self._with_retry(
+            reqs[0].phase,
+            lambda: self.world.allreduce(
+                fused, op=reqs[0].op, phase=reqs[0].phase, codec=reqs[0].comm_dtype
+            ),
         )
+        if isinstance(reduced, CollectiveFailed):
+            return [reduced] * len(reqs)
         return [unpack_arrays(flat, shapes) for flat in reduced]
 
     def _run_allgather(self, reqs: list[AllGatherRequest]) -> list[list[np.ndarray]]:
         contributions = [req.tensor for req in reqs]
-        gathered = self.world.allgather(contributions, phase=reqs[0].phase)
+        gathered = self._with_retry(
+            reqs[0].phase,
+            lambda: self.world.allgather(contributions, phase=reqs[0].phase),
+        )
+        if isinstance(gathered, CollectiveFailed):
+            return [gathered] * len(reqs)
         return gathered
 
     def _run_group_allgather(
@@ -201,9 +252,16 @@ class PhaseController:
                     f"rank {r}: group-allgather contribution does not match "
                     f"membership of group {ranks}"
                 )
-        gathered = self.world.group_allgather(
-            [reqs[r].tensor for r in ranks], ranks, phase=reqs[0].phase
+        gathered = self._with_retry(
+            reqs[0].phase,
+            lambda: self.world.group_allgather(
+                [reqs[r].tensor for r in ranks], ranks, phase=reqs[0].phase
+            ),
         )
+        if isinstance(gathered, CollectiveFailed):
+            # every replica (members and non-members) observes the failure
+            # so the stale-state ledgers stay in lockstep
+            return [gathered] * len(reqs)
         by_rank = dict(zip(ranks, gathered))
         return [by_rank.get(r) for r in range(len(reqs))]
 
@@ -217,9 +275,14 @@ class PhaseController:
         root, ranks = reqs[0].root, reqs[0].ranks
         if reqs[root].tensor is None:
             raise RuntimeError(f"broadcast root {root} provided no tensor")
-        out = self.world.group_broadcast(
-            reqs[root].tensor, root, ranks, phase=reqs[0].phase
+        out = self._with_retry(
+            reqs[0].phase,
+            lambda: self.world.group_broadcast(
+                reqs[root].tensor, root, ranks, phase=reqs[0].phase
+            ),
         )
+        if isinstance(out, CollectiveFailed):
+            return [out] * len(reqs)
         by_rank = dict(zip(ranks, out))
         return [by_rank.get(r) for r in range(len(reqs))]
 
@@ -240,14 +303,20 @@ class PhaseController:
                 if [t.shape for t in req.tensors] != shapes:
                     raise RuntimeError(f"rank {r} launch {tag!r} shapes diverged")
             fused = [pack_arrays(req.tensors) for req in reqs]
-            handle = self.world.allreduce_async(
-                fused, op=reqs[0].op, phase=reqs[0].phase, codec=reqs[0].comm_dtype
+            handle = self._with_retry(
+                reqs[0].phase,
+                lambda: self.world.allreduce_async(
+                    fused, op=reqs[0].op, phase=reqs[0].phase, codec=reqs[0].comm_dtype
+                ),
             )
             finalize = lambda result: [unpack_arrays(flat, shapes) for flat in result]  # noqa: E731
             pending[tag] = (handle, finalize, None)
         elif isinstance(reqs[0], AllGatherLaunch):
             contributions = [req.tensor for req in reqs]
-            handle = self.world.allgather_async(contributions, phase=reqs[0].phase)
+            handle = self._with_retry(
+                reqs[0].phase,
+                lambda: self.world.allgather_async(contributions, phase=reqs[0].phase),
+            )
             pending[tag] = (handle, lambda result: result, None)
         elif isinstance(reqs[0], GroupAllGatherLaunch):
             groups = {req.ranks for req in reqs}
@@ -260,8 +329,11 @@ class PhaseController:
                         f"rank {r}: group-allgather launch {tag!r} contribution "
                         f"does not match membership of group {ranks}"
                     )
-            handle = self.world.group_allgather_async(
-                [reqs[r].tensor for r in ranks], ranks, phase=reqs[0].phase
+            handle = self._with_retry(
+                reqs[0].phase,
+                lambda: self.world.group_allgather_async(
+                    [reqs[r].tensor for r in ranks], ranks, phase=reqs[0].phase
+                ),
             )
 
             def finalize(result, ranks=ranks, n=len(reqs)):
@@ -276,8 +348,11 @@ class PhaseController:
             root, ranks = reqs[0].root, reqs[0].ranks
             if reqs[root].tensor is None:
                 raise RuntimeError(f"broadcast root {root} provided no tensor")
-            handle = self.world.group_broadcast_async(
-                reqs[root].tensor, root, ranks, phase=reqs[0].phase
+            handle = self._with_retry(
+                reqs[0].phase,
+                lambda: self.world.group_broadcast_async(
+                    reqs[root].tensor, root, ranks, phase=reqs[0].phase
+                ),
             )
 
             def finalize(result, ranks=ranks, n=len(reqs)):
@@ -299,6 +374,10 @@ class PhaseController:
         if tag not in pending:
             raise RuntimeError(f"wait on unknown tag {tag!r} (never launched?)")
         handle, finalize, member_ranks = pending.pop(tag)
+        if isinstance(handle, CollectiveFailed):
+            # the launch failed past the retry budget: every replica gets
+            # the sentinel so the stale-state ledgers stay in lockstep
+            return [handle] * len(reqs)
         # only participating ranks' compute can hide a group op's cost
         budgets = (
             [reqs[r].compute_seconds for r in member_ranks]
@@ -334,7 +413,12 @@ class SPMDDriver:
     [1, 1]
     """
 
-    def __init__(self, kfac: KFAC, hvd: HorovodContext) -> None:
+    def __init__(
+        self,
+        kfac: KFAC,
+        hvd: HorovodContext,
+        retry_policy: RetryPolicy | None = RetryPolicy(),
+    ) -> None:
         if kfac.world_size != hvd.size():
             raise ValueError(
                 f"KFAC world_size {kfac.world_size} != hvd size {hvd.size()}"
@@ -343,6 +427,40 @@ class SPMDDriver:
             raise ValueError(f"KFAC rank {kfac.rank} != hvd rank {hvd.rank()}")
         self.kfac = kfac
         self.hvd = hvd
+        self.retry_policy = retry_policy
+        self.comm_retries = 0
+        self.comm_fallbacks = 0
+
+    def _with_retry(self, phase: str, attempt_fn: Any) -> Any:
+        """Per-rank bounded retry (see :meth:`PhaseController._with_retry`).
+
+        The world distributes an injected failure to *every* posting rank
+        in lockstep, so all members retry the same number of times and
+        their matched-op generation counters stay aligned.  Backoff time
+        is charged by rank 0 only (the world ledger is shared).
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            try:
+                return attempt_fn()
+            except CollectiveError as exc:
+                if policy is None:
+                    raise
+                ph = phase if phase is not None else (exc.phase or "")
+                if attempt < policy.max_retries:
+                    backoff = policy.backoff(attempt)
+                    if self.kfac.rank == 0:
+                        world = self.hvd._view.world
+                        world.timers.charge("retry_backoff", backoff)
+                        world.overlap.record("retry_backoff", backoff, 0.0)
+                    self.comm_retries += 1
+                    attempt += 1
+                    continue
+                if ph in policy.fallback_phases:
+                    self.comm_fallbacks += 1
+                    return CollectiveFailed(phase=ph, error=exc)
+                raise
 
     def step(self) -> None:
         gen = self.kfac.step_generator()
@@ -355,14 +473,22 @@ class SPMDDriver:
                 seq += 1
                 shapes = [t.shape for t in req.tensors]
                 flat = pack_arrays(req.tensors)
-                reduced = self.hvd.allreduce(
-                    flat, name=name, op=req.op, phase=req.phase, codec=req.comm_dtype
+                reduced = self._with_retry(
+                    req.phase,
+                    lambda: self.hvd.allreduce(
+                        flat, name=name, op=req.op, phase=req.phase, codec=req.comm_dtype
+                    ),
                 )
-                req = _advance(gen, unpack_arrays(reduced, shapes))
+                if not isinstance(reduced, CollectiveFailed):
+                    reduced = unpack_arrays(reduced, shapes)
+                req = _advance(gen, reduced)
             elif isinstance(req, AllGatherRequest):
                 name = f"kfac:{req.phase}:{seq}"
                 seq += 1
-                gathered = self.hvd.allgather(req.tensor, name=name, phase=req.phase)
+                gathered = self._with_retry(
+                    req.phase,
+                    lambda: self.hvd.allgather(req.tensor, name=name, phase=req.phase),
+                )
                 req = _advance(gen, gathered)
             elif isinstance(req, GroupAllGatherRequest):
                 # only group members post; the name must be stable per
@@ -374,11 +500,16 @@ class SPMDDriver:
                 name = f"kfac:{req.phase}:grp{req.ranks[0]}"
                 if self.kfac.rank in req.ranks:
                     assert req.tensor is not None
-                    gathered = self.hvd.group_allgather(
-                        req.tensor, name=name, ranks=req.ranks, phase=req.phase
+                    gathered = self._with_retry(
+                        req.phase,
+                        lambda: self.hvd.group_allgather(
+                            req.tensor, name=name, ranks=req.ranks, phase=req.phase
+                        ),
                     )
                     req = _advance(gen, gathered)
                 else:
+                    # non-members never post, so they cannot observe a
+                    # member-side failure: degradation is member-local
                     req = _advance(gen, None)
             elif isinstance(req, GroupBroadcastRequest):
                 name = f"kfac:{req.phase}:root{req.root}"
@@ -389,9 +520,12 @@ class SPMDDriver:
                         else np.zeros(0, dtype=np.float32)
                     )
                     assert payload is not None
-                    got = self.hvd.group_broadcast(
-                        payload, name=name, root=req.root, ranks=req.ranks,
-                        phase=req.phase,
+                    got = self._with_retry(
+                        req.phase,
+                        lambda: self.hvd.group_broadcast(
+                            payload, name=name, root=req.root, ranks=req.ranks,
+                            phase=req.phase,
+                        ),
                     )
                     req = _advance(gen, got)
                 else:
@@ -458,8 +592,13 @@ class SPMDDriver:
                 if req.tag not in pending:
                     raise RuntimeError(f"wait on unknown tag {req.tag!r} (never launched?)")
                 handle, shapes = pending.pop(req.tag)
-                result = handle.wait(req.compute_seconds)
-                if shapes is not None:
+                # a failed launched collective raises at wait time; the
+                # handle re-posts on each retry (its result is not cached
+                # until a wait succeeds), keeping generations aligned
+                result = self._with_retry(
+                    None, lambda: handle.wait(req.compute_seconds)
+                )
+                if shapes is not None and not isinstance(result, CollectiveFailed):
                     result = unpack_arrays(result, shapes)
                 req = _advance(gen, result)
             else:  # pragma: no cover - defensive

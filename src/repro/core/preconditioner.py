@@ -47,6 +47,7 @@ from typing import Any, Generator, Sequence
 import numpy as np
 
 from repro.comm.compression import ErrorFeedback, get_codec
+from repro.comm.faults import StaleEigenbasisError
 from repro.comm.fusion import tri_len
 from repro.core.assignment import (
     FactorMeta,
@@ -153,6 +154,12 @@ class KFACHyperParams:
         pipelined routes.  Lossy (unlike ``symmetric_comm``) but bounded:
         the EMA absorbs the quantization noise and the residuals re-inject
         it, so trajectories track the full-precision run.
+    max_eig_staleness:
+        Graceful-degradation bound: how many *consecutive* failed
+        second-order refreshes (factor exchange or eigenbasis share lost
+        past the driver's retry budget) a factor may absorb by
+        preconditioning with its last-known eigenbasis before the step
+        hard-fails with :class:`repro.comm.faults.StaleEigenbasisError`.
     """
 
     lr: float = 0.1
@@ -171,6 +178,7 @@ class KFACHyperParams:
     bucket_bytes: int | None = None
     symmetric_comm: bool = True
     comm_dtype: str | None = None
+    max_eig_staleness: int = 3
 
     def __post_init__(self) -> None:
         if self.comm_dtype in ("fp32", "none"):
@@ -347,6 +355,13 @@ class KFAC:
         self.n_factor_updates = 0
         self.n_second_order_updates = 0
         self.n_eigs_computed_locally = 0
+        # graceful-degradation ledger: consecutive failed refreshes per
+        # factor key (reset on the next successful exchange), plus totals
+        # for TrainingHistory
+        self.staleness: dict[str, int] = {}
+        self.n_stale_fallbacks = 0
+        self.n_factor_comm_failures = 0
+        self.n_eig_share_failures = 0
         #: step plans cached per (update_factors, update_second_order) —
         #: the graph/schedule depend only on static placement metadata
         self._plans: dict[tuple[bool, bool], Any] = {}
@@ -422,6 +437,76 @@ class KFAC:
         if self.hp.strategy == LAYER_WISE:
             return 1
         return self.world_size
+
+    def is_grad_worker(self, layer_name: str, rank: int | None = None) -> bool:
+        """Does ``rank`` (default: this rank) hold ``layer_name``'s eigenbasis?
+
+        The single placement predicate shared by the executor (who
+        preconditions), the portable-checkpoint redistribute-on-load path
+        (who hydrates second-order state), and
+        :func:`repro.elastic.redistribution_plan` (its pure-metadata
+        mirror).
+        """
+        r = self.rank if rank is None else rank
+        if self._placement is not None:
+            return self._placement.is_grad_worker(r, layer_name)
+        if self.hp.strategy == LAYER_WISE:
+            return self._layer_assignment[layer_name] == r
+        return True  # COMM_OPT: every rank preconditions every layer
+
+    # ------------------------------------------------------------------
+    # graceful degradation (stale-eigenbasis fallback)
+    # ------------------------------------------------------------------
+    def _has_second_order(self, meta: FactorMeta) -> bool:
+        """Does the layer carry last-known second-order state for ``meta``?"""
+        layer = self._layer_by_name(meta.layer)
+        if self.hp.use_eigen_decomp:
+            prior = layer.eig_A if meta.kind == "A" else layer.eig_G
+        else:
+            prior = layer.inv_A if meta.kind == "A" else layer.inv_G
+        return prior is not None
+
+    def _note_factor_comm_failure(self, metas: Sequence[FactorMeta]) -> None:
+        """A factor allreduce was lost past the retry budget.
+
+        Ranks keep their *local* running averages for this refresh — the
+        owned eigendecompositions still happen (from un-averaged factors)
+        and their shares keep all replicas in lockstep, so no staleness
+        accrues; the next successful exchange re-averages the histories.
+        """
+        del metas  # per-bucket granularity not needed: one counter per event
+        self.n_factor_comm_failures += 1
+        self.n_stale_fallbacks += 1
+
+    def _note_eig_share_failure(self, metas: Sequence[FactorMeta]) -> None:
+        """An eigenbasis share was lost past the retry budget.
+
+        *No* rank installs this exchange (the owner included), keeping
+        every replica preconditioning with the identical last-known
+        eigenbasis.  Consecutive failures accrue per-factor staleness;
+        past ``hp.max_eig_staleness`` — or if a factor has no prior state
+        at all — the step hard-fails.
+        """
+        self.n_eig_share_failures += 1
+        self.n_stale_fallbacks += 1
+        for meta in metas:
+            if not self._has_second_order(meta):
+                raise StaleEigenbasisError(
+                    f"eigenbasis share for {meta.key} failed and the layer has "
+                    "no last-known second-order state to fall back to"
+                )
+            count = self.staleness.get(meta.key, 0) + 1
+            self.staleness[meta.key] = count
+            if count > self.hp.max_eig_staleness:
+                raise StaleEigenbasisError(
+                    f"{meta.key} eigenbasis is stale for {count} consecutive "
+                    f"refreshes (> max_eig_staleness={self.hp.max_eig_staleness})"
+                )
+
+    def _clear_staleness(self, metas: Sequence[FactorMeta]) -> None:
+        """A successful second-order exchange resets the counters."""
+        for meta in metas:
+            self.staleness.pop(meta.key, None)
 
     # ------------------------------------------------------------------
     # the Algorithm 1 step (generator)
@@ -624,12 +709,36 @@ class KFAC:
     # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
+    def placement_metadata(self) -> dict:
+        """The placement stamp written into every checkpoint.
+
+        Records everything needed to (a) detect a mismatched naive resume
+        and (b) re-plan shard ownership when a *portable* bundle (see
+        :func:`repro.elastic.gather_state_dict`) is loaded into a
+        different world size / ``grad_worker_frac``.
+        """
+        return {
+            "strategy": self.hp.strategy,
+            "grad_worker_frac": self.hp.grad_worker_frac,
+            "world_size": self.world_size,
+            "rank": self.rank,
+            "assignment": self.hp.assignment,
+            "use_eigen_decomp": self.hp.use_eigen_decomp,
+            "symmetric_comm": self.hp.symmetric_comm,
+            "comm_dtype": self.hp.comm_dtype,
+        }
+
     def state_dict(self) -> dict:
         """Serializable snapshot: counters, knobs, factors, second-order state.
 
         Mirrors the reference implementation's ``KFAC.state_dict`` so
         training can resume mid-run without re-warming the running
-        averages.
+        averages.  The snapshot is stamped with :meth:`placement_metadata`
+        and ``portable: False`` — it contains only *this rank's* owned
+        second-order shards, so :meth:`load_state_dict` rejects it under a
+        different world size / placement.  Use
+        :func:`repro.elastic.gather_state_dict` for a rank-agnostic bundle
+        that resumes anywhere.
         """
         layers: dict[str, dict[str, np.ndarray]] = {}
         for layer in self.layers:
@@ -653,26 +762,87 @@ class KFAC:
             "fac_update_freq": self.fac_update_freq,
             "kfac_update_freq": self.kfac_update_freq,
             "layers": layers,
+            "placement": self.placement_metadata(),
+            "portable": False,
         }
 
-    def load_state_dict(self, state: dict) -> None:
-        """Restore a snapshot produced by :meth:`state_dict`."""
+    #: placement fields that must match for a non-portable resume
+    _PLACEMENT_MATCH_KEYS = (
+        "strategy",
+        "grad_worker_frac",
+        "world_size",
+        "assignment",
+        "use_eigen_decomp",
+    )
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        ``strict=True`` (default) raises ``KeyError`` if the checkpoint
+        names a layer this model doesn't have **or** is missing a layer
+        this model *does* have (a silent partial restore would train some
+        layers from re-warmed factors without warning), and ``ValueError``
+        if a non-portable snapshot was taken under a different placement
+        (world size, strategy, ``grad_worker_frac``, assignment policy, or
+        inverse method).  ``strict=False`` restores the intersection and
+        skips the placement check.
+
+        A *portable* bundle (``portable: True``, from
+        :func:`repro.elastic.gather_state_dict`) carries every layer's
+        complete second-order state; it is redistributed on load — running
+        averages hydrate everywhere, eigenbases only where the *current*
+        placement makes this rank a gradient worker — so it resumes under
+        any world size / ``grad_worker_frac``.
+        """
+        portable = bool(state.get("portable", False))
+        meta = state.get("placement")
+        by_name = {layer.name: layer for layer in self.layers}
+        unknown = sorted(set(state["layers"]) - set(by_name))
+        missing = sorted(set(by_name) - set(state["layers"]))
+        if strict and unknown:
+            raise KeyError(f"checkpoint has unknown K-FAC layer {unknown[0]!r}")
+        if strict and missing:
+            raise KeyError(
+                f"checkpoint is missing K-FAC layers {missing}; their factors "
+                "would silently re-warm from scratch (pass strict=False to "
+                "restore the intersection anyway)"
+            )
+        if strict and not portable and meta is not None:
+            current = self.placement_metadata()
+            mismatched = [
+                key
+                for key in self._PLACEMENT_MATCH_KEYS
+                if meta.get(key) != current[key]
+            ]
+            if mismatched:
+                detail = ", ".join(
+                    f"{k}: checkpoint={meta.get(k)!r} != current={current[k]!r}"
+                    for k in mismatched
+                )
+                raise ValueError(
+                    "checkpoint placement does not match this preconditioner "
+                    f"({detail}); per-rank snapshots only resume under the "
+                    "identical placement — gather a portable bundle with "
+                    "repro.elastic.gather_state_dict() to resume across world "
+                    "sizes, or pass strict=False"
+                )
         self.steps = int(state["steps"])
         self.lr = float(state["lr"])
         self.damping = float(state["damping"])
         self.fac_update_freq = int(state["fac_update_freq"])
         self.kfac_update_freq = int(state["kfac_update_freq"])
-        by_name = {layer.name: layer for layer in self.layers}
         for name, entry in state["layers"].items():
             if name not in by_name:
-                raise KeyError(f"checkpoint has unknown K-FAC layer {name!r}")
+                continue  # tolerated under strict=False
             layer = by_name[name]
             if "A" in entry:
                 layer.A = entry["A"].copy()
                 layer.G = entry["G"].copy()
+            # portable bundles are redistributed: second-order state
+            # hydrates only where the *current* placement wants it
+            if portable and not self.is_grad_worker(name):
+                continue
             if "eig_A_Q" in entry:
-                from repro.core.inverse import FactorEig
-
                 layer.eig_A = FactorEig(entry["eig_A_Q"].copy(), entry["eig_A_lam"].copy())
                 layer.eig_G = FactorEig(entry["eig_G_Q"].copy(), entry["eig_G_lam"].copy())
             if "inv_A" in entry:

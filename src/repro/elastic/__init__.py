@@ -1,0 +1,65 @@
+"""Elastic fleet: portable checkpoints, fault injection, degradation.
+
+Three robustness layers for the distributed K-FAC stack:
+
+1. **World-size-portable checkpoints** — :func:`gather_state_dict`
+   allgathers every rank's owned second-order shards into one
+   rank-agnostic bundle; ``KFAC.load_state_dict`` redistributes it for
+   the *current* world size / ``grad_worker_frac`` on load
+   (:func:`redistribution_plan` is the pure metadata mirror of that
+   rule).  :class:`Checkpoint` bundles model / optimizer / K-FAC /
+   ``GradScaler`` / RNG with atomic write-then-rename and a verified
+   save/load round-trip; :func:`broadcast_scaler_state` re-shares the
+   loss scale across SPMD ranks after a resume.
+
+2. **Fault and straggler injection** — a :class:`FaultPlan` of
+   :class:`ComputeJitter` / :class:`LatencySpike` /
+   :class:`CollectiveFailure` / :class:`RankDeath` specs attached to a
+   simulated ``World`` perturbs or fails its collectives, so straggler
+   sensitivity and failure handling are measurable end to end.
+
+3. **Graceful degradation** — drivers retry failed collectives under a
+   :class:`RetryPolicy`; exhaustion in an eligible phase degrades to a
+   :class:`CollectiveFailed` sentinel and the preconditioner falls back
+   to its last-known eigenbasis, up to a bounded staleness
+   (:class:`StaleEigenbasisError` past it).
+
+See ``docs/elasticity.md`` for the full semantics.
+"""
+
+from repro.comm.faults import (
+    CollectiveError,
+    CollectiveFailed,
+    CollectiveFailure,
+    ComputeJitter,
+    FaultPlan,
+    LatencySpike,
+    RankDeath,
+    RankDeadError,
+    RetryPolicy,
+    StaleEigenbasisError,
+)
+from repro.elastic.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    broadcast_scaler_state,
+)
+from repro.elastic.portable import gather_state_dict, redistribution_plan
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CollectiveError",
+    "CollectiveFailed",
+    "CollectiveFailure",
+    "ComputeJitter",
+    "FaultPlan",
+    "LatencySpike",
+    "RankDeath",
+    "RankDeadError",
+    "RetryPolicy",
+    "StaleEigenbasisError",
+    "broadcast_scaler_state",
+    "gather_state_dict",
+    "redistribution_plan",
+]

@@ -1,0 +1,268 @@
+"""Trainer-level checkpoint bundle with atomic, verified persistence.
+
+:class:`Checkpoint` packages everything a resumable run needs — model
+parameters, optimizer slots, a (preferably *portable*, see
+:func:`repro.elastic.gather_state_dict`) K-FAC snapshot, the AMP
+``GradScaler``, and RNG state — into one pickle written with
+write-to-temp + fsync + :func:`os.replace` so a crash mid-save can never
+leave a torn file, then read back and deep-compared so a save that would
+not round-trip fails loudly (:class:`CheckpointError`) instead of at
+resume time.  :func:`broadcast_scaler_state` re-shares the loss scale
+across SPMD ranks after a resume so no replica steps with a divergent
+scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Checkpoint", "CheckpointError", "broadcast_scaler_state"]
+
+#: format stamp written into (and demanded from) every checkpoint file
+MAGIC = "repro.elastic.checkpoint/1"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint failed to save, verify, or load.
+
+    Example
+    -------
+    >>> from repro.elastic import CheckpointError
+    >>> issubclass(CheckpointError, RuntimeError)
+    True
+    """
+
+
+def _deep_equal(a: Any, b: Any) -> bool:
+    """Structural equality that treats NaN == NaN inside arrays."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(_deep_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(map(_deep_equal, a, b))
+    if isinstance(a, np.ndarray):
+        if a.dtype != b.dtype or a.shape != b.shape:
+            return False
+        equal_nan = a.dtype.kind in "fc"
+        return bool(np.array_equal(a, b, equal_nan=equal_nan))
+    if isinstance(a, float):
+        return a == b or (a != a and b != b)
+    return bool(a == b)
+
+
+class Checkpoint:
+    """One resumable checkpoint file (atomic save, verified round-trip).
+
+    ``capture`` assembles a payload from live training objects,
+    ``save``/``load`` move it through ``path``, and ``restore`` pushes a
+    loaded payload back into (possibly different-world-size) objects —
+    the K-FAC entry should be a portable bundle so
+    ``KFAC.load_state_dict`` can redistribute it.
+
+    Example
+    -------
+    >>> import tempfile, os
+    >>> import numpy as np
+    >>> from repro.elastic import Checkpoint
+    >>> from repro.nn import Linear, Sequential
+    >>> from repro.optim import SGD
+    >>> model = Sequential(Linear(3, 2))
+    >>> opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+    >>> path = os.path.join(tempfile.mkdtemp(), "step10.ckpt")
+    >>> ckpt = Checkpoint(path)
+    >>> payload = ckpt.capture(model=model, optimizer=opt, step=10)
+    >>> ckpt.save(payload)
+    >>> loaded = ckpt.load()
+    >>> loaded["step"], loaded["format"]
+    (10, 'repro.elastic.checkpoint/1')
+    >>> model2 = Sequential(Linear(3, 2))
+    >>> opt2 = SGD(model2.parameters(), lr=0.1, momentum=0.9)
+    >>> ckpt.restore(loaded, model=model2, optimizer=opt2)
+    10
+    >>> bool(np.array_equal(model2.parameters()[0].data,
+    ...                     model.parameters()[0].data))
+    True
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------
+    # assemble / apply
+    # ------------------------------------------------------------------
+    def capture(
+        self,
+        model: Any | None = None,
+        optimizer: Any | None = None,
+        kfac_state: dict | None = None,
+        grad_scaler: Any | None = None,
+        rng: np.random.Generator | None = None,
+        step: int = 0,
+        epoch: int = 0,
+        extra: dict | None = None,
+    ) -> dict:
+        """Snapshot live objects into a serializable payload.
+
+        ``kfac_state`` is an *already materialized* state dict (pass
+        ``gather_state_dict(kfac, ...)`` for a world-size-portable one —
+        the gather is a collective, so it must happen outside ``capture``).
+        """
+        return {
+            "format": MAGIC,
+            "step": int(step),
+            "epoch": int(epoch),
+            "model": None if model is None else model.state_dict(),
+            "optimizer": None if optimizer is None else optimizer.state_dict(),
+            "kfac": kfac_state,
+            "grad_scaler": (
+                None if grad_scaler is None else grad_scaler.state_dict()
+            ),
+            "rng": None if rng is None else rng.bit_generator.state,
+            "extra": dict(extra) if extra else {},
+        }
+
+    def restore(
+        self,
+        payload: dict,
+        model: Any | None = None,
+        optimizer: Any | None = None,
+        kfac: Any | None = None,
+        grad_scaler: Any | None = None,
+        rng: np.random.Generator | None = None,
+        strict: bool = True,
+    ) -> int:
+        """Push a loaded payload into live objects; returns the saved step.
+
+        Only the components passed are restored, so a resume can hydrate
+        e.g. just the model.  ``strict`` is forwarded to
+        ``KFAC.load_state_dict`` (portable bundles redistribute for the
+        *current* placement regardless of the world size they were
+        gathered at).
+        """
+        if payload.get("format") != MAGIC:
+            raise CheckpointError(
+                f"not a {MAGIC} payload: format={payload.get('format')!r}"
+            )
+        if model is not None and payload["model"] is not None:
+            model.load_state_dict(payload["model"])
+        if optimizer is not None and payload["optimizer"] is not None:
+            optimizer.load_state_dict(payload["optimizer"])
+        if kfac is not None and payload["kfac"] is not None:
+            kfac.load_state_dict(payload["kfac"], strict=strict)
+        if grad_scaler is not None and payload["grad_scaler"] is not None:
+            grad_scaler.load_state_dict(payload["grad_scaler"])
+        if rng is not None and payload["rng"] is not None:
+            rng.bit_generator.state = payload["rng"]
+        return int(payload["step"])
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, payload: dict) -> None:
+        """Atomically write ``payload`` and verify it round-trips.
+
+        The bytes land in a temp file in the destination directory, are
+        fsynced, and only then renamed over ``path`` — readers never see
+        a partial file.  The written file is immediately re-read and
+        deep-compared against ``payload``; any divergence raises
+        :class:`CheckpointError` with the file already in place removed.
+        """
+        if payload.get("format") != MAGIC:
+            raise CheckpointError(
+                f"refusing to save payload without the {MAGIC} stamp; "
+                "build it with Checkpoint.capture()"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        reread = self.load()
+        if not _deep_equal(payload, reread):
+            self.path.unlink()
+            raise CheckpointError(
+                f"checkpoint {self.path} did not survive a save/load "
+                "round-trip; the corrupt file has been removed"
+            )
+
+    def load(self) -> dict:
+        """Read and validate the payload at ``path``."""
+        try:
+            with open(self.path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            raise CheckpointError(f"no checkpoint at {self.path}") from None
+        except (pickle.UnpicklingError, EOFError) as exc:
+            raise CheckpointError(
+                f"checkpoint {self.path} is corrupt: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("format") != MAGIC:
+            raise CheckpointError(
+                f"{self.path} is not a {MAGIC} checkpoint"
+            )
+        return payload
+
+
+def broadcast_scaler_state(scaler: Any, hvd: Any, root: int = 0) -> None:
+    """Share ``root``'s loss-scale state with every SPMD rank.
+
+    After a resume the ranks that read the checkpoint file may disagree
+    with ranks that did not (or a freshly-constructed scaler may still sit
+    at its init scale); a single diverged scale makes the unscaled
+    gradients inconsistent across replicas.  This packs the five
+    :class:`repro.precision.GradScaler` fields into one float64 vector,
+    broadcasts it, and loads it everywhere.  Collective: every rank must
+    call it.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.comm.backend import World
+    >>> from repro.comm.horovod import HorovodContext
+    >>> from repro.elastic import broadcast_scaler_state
+    >>> from repro.precision import GradScaler
+    >>> def program(view):
+    ...     hvd = HorovodContext(view)
+    ...     scaler = GradScaler(init_scale=2.0 if view.rank == 0 else 512.0)
+    ...     broadcast_scaler_state(scaler, hvd, root=0)
+    ...     return scaler.scale
+    >>> World(2).run_spmd(program)
+    [2.0, 2.0]
+    """
+    state = scaler.state_dict()
+    vec = np.array(
+        [
+            float(state["scale"]),
+            float(state["growth_tracker"]),
+            float(state["steps_taken"]),
+            float(state["steps_skipped"]),
+            1.0 if state["enabled"] else 0.0,
+        ],
+        dtype=np.float64,
+    )
+    vec = hvd.broadcast(vec, name="elastic:scaler", root=root)
+    scaler.load_state_dict(
+        {
+            "scale": float(vec[0]),
+            "growth_tracker": int(vec[1]),
+            "steps_taken": int(vec[2]),
+            "steps_skipped": int(vec[3]),
+            "enabled": bool(vec[4]),
+        }
+    )

@@ -1,0 +1,245 @@
+"""World-size-portable K-FAC checkpoints: gather and redistribute.
+
+A per-rank :meth:`repro.core.preconditioner.KFAC.state_dict` snapshot only
+carries the second-order shards *this* rank owns under *this* placement —
+it cannot resume at a different world size or ``grad_worker_frac``.
+:func:`gather_state_dict` allgathers every rank's owned eigendecompositions
+(or explicit inverses) into one rank-agnostic bundle stamped
+``portable: True``; ``KFAC.load_state_dict`` then redistributes it on load,
+hydrating second-order state only where the *current* placement makes the
+loading rank a gradient worker.  :func:`redistribution_plan` is the pure
+metadata mirror of that hydration rule — it answers "which ranks will hold
+which layers' eigenbases" for any (world size, strategy, fraction) without
+constructing a preconditioner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.assignment import grad_worker_groups, layer_wise_assignment
+from repro.core.preconditioner import COMM_OPT, HYBRID, LAYER_WISE
+
+__all__ = ["gather_state_dict", "redistribution_plan"]
+
+#: second-order entry keys a gathered bundle may carry per layer
+_SECOND_ORDER_KEYS = (
+    "eig_A_Q",
+    "eig_A_lam",
+    "eig_G_Q",
+    "eig_G_lam",
+    "inv_A",
+    "inv_G",
+)
+
+#: wire codes for the original dtype of a gathered shard (0 = absent);
+#: shards travel as float64 (exact for every code) and are cast back
+_DTYPE_CODES = {1: np.float32, 2: np.float64, 3: np.float16}
+
+
+def redistribution_plan(
+    layer_names: Sequence[str],
+    world_size: int,
+    strategy: str,
+    grad_worker_frac: float | None = None,
+) -> dict[int, tuple[str, ...]]:
+    """Which ranks hold which layers' second-order state under a placement.
+
+    Returns ``{rank: (layer names...)}`` covering every rank in
+    ``range(world_size)``.  This is exactly the set of layers
+    ``KFAC.load_state_dict`` hydrates eigenbases for when a portable
+    bundle is loaded at that rank (``KFAC.is_grad_worker`` agrees rank by
+    rank): every rank under ``COMM_OPT``, only the ``i % P`` owner under
+    ``LAYER_WISE``, the contiguous wrap-around gradient-worker group under
+    ``HYBRID``.
+
+    Example
+    -------
+    >>> from repro.elastic import redistribution_plan
+    >>> redistribution_plan(["a", "b", "c"], 2, "comm-opt")
+    {0: ('a', 'b', 'c'), 1: ('a', 'b', 'c')}
+    >>> redistribution_plan(["a", "b", "c"], 2, "layer-wise")
+    {0: ('a', 'c'), 1: ('b',)}
+    >>> redistribution_plan(["a", "b"], 4, "hybrid", grad_worker_frac=0.5)
+    {0: ('a',), 1: ('a', 'b'), 2: ('b',), 3: ()}
+    """
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    names = list(layer_names)
+    if strategy == COMM_OPT:
+        return {r: tuple(names) for r in range(world_size)}
+    if strategy == LAYER_WISE:
+        owner = layer_wise_assignment(names, world_size)
+        return {
+            r: tuple(n for n in names if owner[n] == r)
+            for r in range(world_size)
+        }
+    if strategy == HYBRID:
+        if grad_worker_frac is None:
+            raise ValueError("HYBRID placement needs grad_worker_frac")
+        groups = grad_worker_groups(names, world_size, grad_worker_frac)
+        return {
+            r: tuple(n for n in names if r in groups[n])
+            for r in range(world_size)
+        }
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def gather_state_dict(
+    kfac: Any, hvd: Any | None = None, peers: Sequence[Any] | None = None
+) -> dict:
+    """Gather a rank-agnostic (*portable*) K-FAC snapshot.
+
+    The result is ``KFAC.state_dict()`` completed with **every** layer's
+    second-order state and stamped ``portable: True`` plus a
+    ``gathered_from`` record; ``KFAC.load_state_dict`` accepts it under
+    any world size / strategy / ``grad_worker_frac`` and redistributes on
+    load.  Call it at a step boundary (after ``optimizer.step()``), when
+    the running-average factors are identical on every rank.
+
+    How the missing shards are collected depends on the execution style:
+
+    - ``world_size == 1`` or ``COMM_OPT``: the local snapshot is already
+      complete — no communication.
+    - ``peers=[kfac_rank0, kfac_rank1, ...]`` (phase-style drivers, all
+      replicas in one process): merged directly from the peer objects.
+    - ``hvd=HorovodContext`` (SPMD): two allgathers — a per-factor
+      presence/dtype flag vector, then the owned shards packed as
+      ``float64`` (exact for every supported dtype) and cast back.  This
+      is a collective: **every** rank must call it.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.core.preconditioner import KFAC
+    >>> from repro.elastic import gather_state_dict
+    >>> from repro.nn import Linear, Sequential
+    >>> from repro.nn.loss import CrossEntropyLoss
+    >>> model = Sequential(Linear(4, 3))
+    >>> kfac = KFAC(model, kfac_update_freq=1, damping=0.01)
+    >>> loss_fn = CrossEntropyLoss()
+    >>> x = np.random.default_rng(0).normal(size=(6, 4)).astype(np.float32)
+    >>> _ = loss_fn(model(x), np.arange(6) % 3)
+    >>> _ = model.backward(loss_fn.backward())
+    >>> kfac.step()
+    >>> bundle = gather_state_dict(kfac)       # world of one: already complete
+    >>> bundle["portable"], bundle["gathered_from"]["world_size"]
+    (True, 1)
+    >>> sorted(k for k in bundle["layers"]["m0"] if k.startswith("eig_A"))
+    ['eig_A_Q', 'eig_A_lam']
+    """
+    if hvd is not None and peers is not None:
+        raise ValueError("pass at most one of hvd= and peers=")
+    state = kfac.state_dict()
+    state["portable"] = True
+    state["gathered_from"] = {
+        "world_size": kfac.world_size,
+        "rank": kfac.rank,
+        "strategy": kfac.hp.strategy,
+        "grad_worker_frac": kfac.hp.grad_worker_frac,
+    }
+    if kfac.world_size == 1:
+        return state
+    if peers is not None:
+        _merge_from_peers(state, peers)
+    elif hvd is not None:
+        _allgather_shards(kfac, state, hvd)
+    elif kfac.hp.strategy != COMM_OPT:
+        raise ValueError(
+            f"{kfac.hp.strategy} keeps second-order state sharded across "
+            f"{kfac.world_size} ranks; gather_state_dict needs hvd= (SPMD) "
+            "or peers= (phase-style replicas) to collect the missing shards"
+        )
+    return state
+
+
+# ----------------------------------------------------------------------
+# phase-style gather: all replicas live in this process
+# ----------------------------------------------------------------------
+def _merge_from_peers(state: dict, peers: Sequence[Any]) -> None:
+    for peer in peers:
+        pstate = peer.state_dict()
+        for name, pentry in pstate["layers"].items():
+            entry = state["layers"].setdefault(name, {})
+            for key in _SECOND_ORDER_KEYS:
+                if key in pentry and key not in entry:
+                    entry[key] = pentry[key]
+
+
+# ----------------------------------------------------------------------
+# SPMD gather: two allgathers over the HorovodContext
+# ----------------------------------------------------------------------
+def _factor_owner(kfac: Any, meta: Any) -> int:
+    """The rank that computed (and therefore holds) a factor's shard."""
+    if kfac.hp.strategy == LAYER_WISE:
+        return kfac._layer_assignment[meta.layer]
+    return kfac._factor_assignment[meta.key]
+
+
+def _local_arrays(kfac: Any, meta: Any) -> list[np.ndarray] | None:
+    layer = kfac._layer_by_name(meta.layer)
+    if kfac.hp.use_eigen_decomp:
+        eig = layer.eig_A if meta.kind == "A" else layer.eig_G
+        return None if eig is None else [eig.Q, eig.lam]
+    inv = layer.inv_A if meta.kind == "A" else layer.inv_G
+    return None if inv is None else [inv]
+
+
+def _entry_keys(kfac: Any, meta: Any) -> tuple[str, ...]:
+    if kfac.hp.use_eigen_decomp:
+        return (f"eig_{meta.kind}_Q", f"eig_{meta.kind}_lam")
+    return (f"inv_{meta.kind}",)
+
+
+def _shard_shapes(kfac: Any, meta: Any) -> tuple[tuple[int, ...], ...]:
+    if kfac.hp.use_eigen_decomp:
+        return ((meta.dim, meta.dim), (meta.dim,))
+    return ((meta.dim, meta.dim),)
+
+
+def _dtype_code(dtype: np.dtype) -> int:
+    for code, dt in _DTYPE_CODES.items():
+        if np.dtype(dt) == np.dtype(dtype):
+            return code
+    raise TypeError(f"cannot transport second-order shards of dtype {dtype}")
+
+
+def _allgather_shards(kfac: Any, state: dict, hvd: Any) -> None:
+    metas = kfac.factor_metas
+    owner = {m.key: _factor_owner(kfac, m) for m in metas}
+    owned = [m for m in metas if owner[m.key] == kfac.rank]
+    flags: list[float] = []
+    chunks: list[np.ndarray] = []
+    for meta in owned:
+        arrays = _local_arrays(kfac, meta)
+        if arrays is None:
+            flags.append(0.0)
+            continue
+        flags.append(float(_dtype_code(np.result_type(*arrays))))
+        chunks.extend(
+            np.ascontiguousarray(a, dtype=np.float64).reshape(-1) for a in arrays
+        )
+    flags_buf = np.asarray(flags, dtype=np.float64)
+    payload = (
+        np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.float64)
+    )
+    all_flags = hvd.allgather(flags_buf, name="elastic:gather:flags")
+    all_payloads = hvd.allgather(payload, name="elastic:gather:shards")
+    for r in range(kfac.world_size):
+        r_owned = [m for m in metas if owner[m.key] == r]
+        r_flags, buf = all_flags[r], all_payloads[r]
+        offset = 0
+        for meta, flag in zip(r_owned, r_flags):
+            code = int(flag)
+            if code == 0:
+                continue
+            dtype = _DTYPE_CODES[code]
+            entry = state["layers"].setdefault(meta.layer, {})
+            for key, shape in zip(_entry_keys(kfac, meta), _shard_shapes(kfac, meta)):
+                size = int(np.prod(shape))
+                entry[key] = (
+                    buf[offset : offset + size].reshape(shape).astype(dtype)
+                )
+                offset += size

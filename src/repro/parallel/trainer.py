@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.comm.backend import World
 from repro.comm.engine import CommEngine, task_overlap_profile
+from repro.comm.faults import FaultPlan, RetryPolicy
 from repro.core.distributed import PhaseController
 from repro.core.preconditioner import KFAC, KFACHyperParams
 from repro.data.loader import batch_iterator
@@ -78,6 +79,12 @@ class TrainerConfig:
     #: optional pre-configured scaler (e.g. custom growth interval); by
     #: default one is built armed iff the policy calls for loss scaling
     grad_scaler: GradScaler | None = None
+    #: fault/straggler injection plan installed on the simulated world
+    #: (see :mod:`repro.elastic`); None trains on a healthy fleet
+    fault_plan: FaultPlan | None = None
+    #: bounded retry-with-backoff for failed K-FAC collectives, with
+    #: stale-eigenbasis fallback past the budget; None fails fast
+    retry_policy: RetryPolicy | None = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.world_size < 1:
@@ -150,6 +157,16 @@ class TrainingHistory:
     kfac_strategy: str | None = None
     grad_worker_frac: float | None = None
     grad_worker_count: int = 0
+    #: robustness ledger: collective retries and degraded (fallback)
+    #: exchanges in the drivers, stale-eigenbasis fallbacks taken by the
+    #: preconditioner, the surviving per-factor staleness counters, and
+    #: what the fault plan actually injected
+    comm_retries: int = 0
+    comm_fallbacks: int = 0
+    kfac_stale_fallbacks: int = 0
+    kfac_staleness: dict[str, int] = field(default_factory=dict)
+    faults_injected: int = 0
+    fault_delay_seconds: float = 0.0
 
     @property
     def final_val_accuracy(self) -> float:
@@ -217,6 +234,8 @@ class DataParallelTrainer:
             raise ValueError(
                 f"world size {self.world.size} != config world_size {config.world_size}"
             )
+        if config.fault_plan is not None:
+            self.world.fault_plan = config.fault_plan
         self.train_x, self.train_y = train_x, train_y
         self.val_x, self.val_y = val_x, val_y
 
@@ -264,7 +283,9 @@ class DataParallelTrainer:
                 )
                 for r, m in enumerate(self.replicas)
             ]
-            self.kfac_controller = PhaseController(self.kfacs, self.world)
+            self.kfac_controller = PhaseController(
+                self.kfacs, self.world, retry_policy=config.retry_policy
+            )
             if config.kfac_scheduler_factory is not None:
                 self.kfac_schedulers = [
                     config.kfac_scheduler_factory(k) for k in self.kfacs
@@ -286,6 +307,11 @@ class DataParallelTrainer:
         self.stopwatches = {
             name: Stopwatch() for name in ("io", "forward", "backward", "exchange", "update")
         }
+        # resume cursor (advanced by load_checkpoint and by train()):
+        # train() continues from this epoch/step instead of a cold start
+        self._start_epoch = 0
+        self._epochs_done = 0
+        self._global_step = 0
 
     # ------------------------------------------------------------------
     def _global_iterations_per_epoch(self) -> int:
@@ -390,8 +416,8 @@ class DataParallelTrainer:
         cfg = self.config
         history = TrainingHistory()
         iters_per_epoch = self._global_iterations_per_epoch()
-        global_step = 0
-        for epoch in range(cfg.epochs):
+        global_step = self._global_step
+        for epoch in range(self._start_epoch, cfg.epochs):
             if self.kfac_schedulers is not None:
                 for s in self.kfac_schedulers:
                     s.step(epoch)  # type: ignore[attr-defined]
@@ -412,8 +438,10 @@ class DataParallelTrainer:
                 frac_epoch = epoch + it / iters_per_epoch
                 lr = cfg.lr_schedule(frac_epoch)
                 batches = [shard_batches[r][it] for r in range(cfg.world_size)]
+                self.world.begin_step(global_step)  # fault plan step cursor
                 epoch_losses.append(self.train_iteration(batches, lr))
                 global_step += 1
+                self._global_step = global_step
             val_acc = None
             if (epoch + 1) % cfg.eval_every == 0 or epoch == cfg.epochs - 1:
                 val_acc = self.evaluate()
@@ -425,6 +453,7 @@ class DataParallelTrainer:
                 iterations=iters_per_epoch,
             )
             history.epochs.append(stats)
+            self._epochs_done = epoch + 1
             if verbose:
                 acc_str = f"{val_acc:.4f}" if val_acc is not None else "-"
                 print(
@@ -448,4 +477,76 @@ class DataParallelTrainer:
             history.kfac_strategy = kfac.hp.strategy
             history.grad_worker_frac = kfac.hp.grad_worker_frac
             history.grad_worker_count = kfac.grad_worker_count
+            # staleness is tracked per replica (group shares are noted by
+            # members only): surface the worst counter per factor
+            history.kfac_stale_fallbacks = max(
+                k.n_stale_fallbacks for k in self.kfacs
+            )
+            for k in self.kfacs:
+                for key, count in k.staleness.items():
+                    if count > history.kfac_staleness.get(key, 0):
+                        history.kfac_staleness[key] = count
+        if self.kfac_controller is not None:
+            history.comm_retries = self.kfac_controller.comm_retries
+            history.comm_fallbacks = self.kfac_controller.comm_fallbacks
+        if self.world.fault_plan is not None:
+            history.faults_injected = self.world.fault_plan.events
+            history.fault_delay_seconds = (
+                self.world.fault_plan.injected_delay_seconds
+            )
         return history
+
+    # ------------------------------------------------------------------
+    # elastic checkpointing
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: str) -> None:
+        """Write a world-size-portable checkpoint of the current state.
+
+        The K-FAC bundle is gathered across all replicas
+        (:func:`repro.elastic.gather_state_dict` with ``peers=``), so a
+        run trained here at ``P`` ranks can resume in a trainer built for
+        a *different* world size or ``grad_worker_frac`` — model params,
+        optimizer slots, loss scale, and the step/epoch cursor included.
+        """
+        from repro.elastic import Checkpoint, gather_state_dict
+
+        kfac_state = None
+        if self.kfacs is not None:
+            kfac_state = gather_state_dict(self.kfacs[0], peers=self.kfacs)
+        ckpt = Checkpoint(path)
+        payload = ckpt.capture(
+            model=self.replicas[0],
+            optimizer=self.optimizers[0],
+            kfac_state=kfac_state,
+            grad_scaler=self.grad_scaler,
+            step=self._global_step,
+            epoch=self._epochs_done,
+        )
+        ckpt.save(payload)
+
+    def load_checkpoint(self, path: str, strict: bool = True) -> int:
+        """Resume from a checkpoint written by :meth:`save_checkpoint`.
+
+        Every replica hydrates model + optimizer state; each replica's
+        K-FAC redistributes the portable bundle for *its own* rank under
+        the *current* placement; the shared ``GradScaler`` is restored
+        once.  ``train()`` then continues from the saved epoch.  Returns
+        the restored global step.
+        """
+        from repro.elastic import Checkpoint
+
+        payload = Checkpoint(path).load()
+        for r in range(self.config.world_size):
+            if payload["model"] is not None:
+                self.replicas[r].load_state_dict(payload["model"])
+            if payload["optimizer"] is not None:
+                self.optimizers[r].load_state_dict(payload["optimizer"])
+        if self.kfacs is not None and payload["kfac"] is not None:
+            for k in self.kfacs:
+                k.load_state_dict(payload["kfac"], strict=strict)
+        if payload["grad_scaler"] is not None:
+            self.grad_scaler.load_state_dict(payload["grad_scaler"])
+        self._start_epoch = int(payload["epoch"])
+        self._epochs_done = int(payload["epoch"])
+        self._global_step = int(payload["step"])
+        return self._global_step

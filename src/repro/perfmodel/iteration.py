@@ -747,6 +747,60 @@ class IterationModel:
             + per_eig / intervals.eig_interval
         )
 
+    def straggler_penalty(
+        self,
+        p: int,
+        straggler_seconds: float,
+        policy: str = "round_robin",
+        scheduler: str = "sync",
+        symmetric: bool = False,
+        precision: str = "fp32",
+        grad_worker_frac: float | None = None,
+    ) -> float:
+        """Extra seconds one slow rank adds to a K-FAC update step.
+
+        Synchronous collectives are lockstep: every rank waits out the
+        straggler's full lateness.  The graph scheduler launches the
+        K-FAC collectives asynchronously and only settles them when a
+        dependent task needs the data, so a straggler's lateness is
+        absorbed up to the profile's hidden-communication budget
+        (``StageProfile.hidden_comm``) before it reaches the critical
+        path: ``max(0, lateness - hidden_comm)``.  The penalty is
+        monotone in the lateness, and strictly smaller under
+        ``scheduler="graph"`` whenever the profile hides any
+        communication at all.
+
+        Example
+        -------
+        >>> from repro.perfmodel.hardware import FRONTERA_LIKE, V100_LIKE
+        >>> from repro.perfmodel.iteration import IterationModel
+        >>> from repro.perfmodel.specs import resnet_spec
+        >>> im = IterationModel(resnet_spec(50), V100_LIKE, FRONTERA_LIKE)
+        >>> sync = im.straggler_penalty(64, 0.05, scheduler="sync")
+        >>> graph = im.straggler_penalty(64, 0.05, scheduler="graph")
+        >>> sync == 0.05 and 0.0 <= graph < sync
+        True
+        """
+        if scheduler not in ("sync", "graph"):
+            raise ValueError(
+                f"scheduler must be 'sync' or 'graph', got {scheduler!r}"
+            )
+        if straggler_seconds < 0:
+            raise ValueError(
+                f"straggler_seconds must be >= 0, got {straggler_seconds}"
+            )
+        if scheduler == "sync":
+            return float(straggler_seconds)
+        profile = self.stage_profile(
+            p,
+            policy=policy,
+            symmetric=symmetric,
+            precision=precision,
+            grad_worker_frac=grad_worker_frac,
+            scheduler="graph",
+        )
+        return max(0.0, float(straggler_seconds) - profile.hidden_comm)
+
     def iterations_per_epoch(self, p: int, dataset_size: int) -> int:
         global_batch = self.local_batch * p
         return (dataset_size + global_batch - 1) // global_batch

@@ -29,6 +29,7 @@ from repro.comm.engine import (
     estimate_precondition_seconds,
     estimate_second_order_seconds,
 )
+from repro.comm.faults import CollectiveFailed
 from repro.comm.fusion import tri_unpack
 from repro.core.clipping import kl_clip_factor
 from repro.core.comm_ops import (
@@ -48,8 +49,6 @@ from repro.core.comm_ops import (
 from repro.core.inverse import eigendecompose, explicit_damped_inverse
 
 __all__ = ["GraphExecutor"]
-
-_LAYER_WISE = "layer-wise"
 
 
 class GraphExecutor:
@@ -186,6 +185,11 @@ class GraphExecutor:
 
     def _install_factors(self, idxs: Sequence[int], reduced: Sequence[np.ndarray]) -> None:
         kfac = self.kfac
+        if isinstance(reduced, CollectiveFailed):
+            # exchange lost past the retry budget: keep the local running
+            # averages for this refresh (graceful degradation)
+            kfac._note_factor_comm_failure([kfac._factor_metas[i] for i in idxs])
+            return
         for i, arr in zip(idxs, reduced):
             meta = kfac._factor_metas[i]
             layer = kfac._layer_by_name(meta.layer)
@@ -247,18 +251,26 @@ class GraphExecutor:
         payload = [a for m in metas for a in self._computed.get(m.key, [])]
         dtype = self._transport_dtype if self.plan.pipelined else None
         flat = pack_arrays(payload, dtype=dtype)
+
+        def install(gathered: Sequence[np.ndarray]) -> None:
+            if isinstance(gathered, CollectiveFailed):
+                # no rank installs a lost share (the owner included), so
+                # every replica keeps the identical last-known eigenbasis
+                kfac._note_eig_share_failure(metas)
+                return
+            kfac._install_second_order_chunk(gathered, metas)
+            kfac._clear_staleness(metas)
+
         if kfac.world_size == 1:
-            kfac._install_second_order_chunk([flat], metas)
+            install([flat])
         elif self.plan.pipelined:
             tag = f"eig:{task.payload['bucket']}"
             yield AllGatherLaunch(tensor=flat, phase="eig_comm", tag=tag)
             self._task_tag[task.name] = tag
-            self._pending[tag] = (
-                lambda gathered: kfac._install_second_order_chunk(gathered, metas)
-            )
+            self._pending[tag] = install
         else:
             gathered = yield AllGatherRequest(tensor=flat, phase="eig_comm")
-            kfac._install_second_order_chunk(gathered, metas)
+            install(gathered)
 
     def _run_group_share(self, task: Any) -> Generator[Any, Any, None]:
         """HYBRID: allgather decompositions inside one gradient-worker group.
@@ -286,8 +298,15 @@ class GraphExecutor:
             flat = pack_arrays(mine)
 
         def install(gathered: Sequence[np.ndarray] | None) -> None:
+            if isinstance(gathered, CollectiveFailed):
+                # only members track the lost share: non-members never hold
+                # second-order state (they receive preconditioned grads)
+                if in_group:
+                    kfac._note_eig_share_failure(grp_metas)
+                return
             if gathered is None:  # non-members receive nothing
                 return
+            kfac._clear_staleness(grp_metas)
             step = 2 if kfac.hp.use_eigen_decomp else 1
             for r, buf in zip(ranks, gathered):
                 shapes: list[tuple[int, ...]] = []
@@ -332,12 +351,7 @@ class GraphExecutor:
         )
 
     def _is_grad_worker(self, layer_name: str) -> bool:
-        kfac = self.kfac
-        if kfac._placement is not None:
-            return kfac._placement.is_grad_worker(kfac.rank, layer_name)
-        if kfac.hp.strategy == _LAYER_WISE:
-            return kfac._layer_assignment[layer_name] == kfac.rank
-        return True  # COMM_OPT: every rank preconditions every layer
+        return self.kfac.is_grad_worker(layer_name)
 
     # ------------------------------------------------------------------
     # GradShare

@@ -33,6 +33,7 @@ PACKAGES = [
     "repro.comm",
     "repro.core",
     "repro.data",
+    "repro.elastic",
     "repro.experiments",
     "repro.nn",
     "repro.optim",
@@ -149,6 +150,7 @@ class TestDocsTree:
             "communication.md",
             "perfmodel.md",
             "scheduler.md",
+            "elasticity.md",
         }
         present = {p.name for p in DOC_PAGES}
         assert required <= present, f"missing docs pages: {required - present}"

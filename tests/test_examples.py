@@ -35,6 +35,23 @@ class TestExamples:
         assert "replica parameters stayed in sync" in out
         assert "loss scale" in out
 
+    def test_quickstart_save_resume_across_world_sizes(self, tmp_path):
+        """--save at 3 workers, --resume at 2: the portable bundle
+        redistributes for the new placement on load."""
+        ckpt = tmp_path / "quickstart.ckpt"
+        out = run_example(
+            "quickstart.py", "--workers", "3", "--steps", "4",
+            "--save", str(ckpt),
+        )
+        assert "saved checkpoint at step 4" in out
+        assert ckpt.exists()
+        out = run_example(
+            "quickstart.py", "--workers", "2", "--steps", "3",
+            "--resume", str(ckpt),
+        )
+        assert "resumed from step 4" in out
+        assert "replica parameters stayed in sync" in out
+
     def test_imagenet_scaling_study(self):
         out = run_example("imagenet_scaling_study.py", "--depths", "50")
         assert "ResNet-50 time-to-solution" in out
