@@ -26,9 +26,14 @@ step (K-FAC state gathered across ranks); ``--resume PATH`` continues
 from one — at *any* worker count, since the bundle is redistributed for
 the current placement on load.
 
+``--trace PATH`` records every collective, scheduler task, and retry as
+typed spans and writes a Chrome-trace JSON (one process track per rank;
+open it at ``ui.perfetto.dev``).
+
 Run:  python examples/quickstart.py [--workers 4] [--steps 30]
                                     [--precision {fp32,fp16,bf16}]
                                     [--save ckpt] [--resume ckpt]
+                                    [--trace trace.json]
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ from repro.elastic import Checkpoint, broadcast_scaler_state, gather_state_dict
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.metrics import topk_accuracy
 from repro.nn.resnet import resnet20_cifar
+from repro.obs.tracer import Tracer, validate_chrome_trace
 from repro.optim.sgd import SGD
 from repro.parallel.sharding import shard_indices
 from repro.precision import GradScaler, resolve_policy
@@ -63,6 +69,9 @@ def main() -> None:
                         help="write a portable checkpoint after the last step")
     parser.add_argument("--resume", default=None, metavar="PATH",
                         help="resume from a checkpoint (any worker count)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome-trace JSON of the run "
+                             "(open at ui.perfetto.dev)")
     args = parser.parse_args()
     policy = resolve_policy(args.precision)
 
@@ -72,6 +81,8 @@ def main() -> None:
     )
     tx, ty, vx, vy = dataset.splits
     world = World(args.workers)
+    if args.trace:
+        world.tracer = Tracer()
 
     def worker(view) -> float:
         hvd = HorovodContext(view)
@@ -92,6 +103,7 @@ def main() -> None:
             lr=args.lr, damping=0.003, fac_update_freq=1, kfac_update_freq=5,
             comm_dtype=policy.comm_dtype, grad_scaler=scaler,
         )
+        preconditioner.tracer = view.world.tracer  # span recorder (no-op off)
         driver = SPMDDriver(preconditioner, hvd)
         criterion = CrossEntropyLoss(label_smoothing=0.1)
 
@@ -170,6 +182,10 @@ def main() -> None:
           f"{ {k: f'{v*1e3:.2f}ms' for k, v in world.timers.as_dict().items()} }")
     assert max(checksums) - min(checksums) < 1e-3 * max(checksums), "replicas diverged!"
     print("replica parameters stayed in sync — distributed K-FAC is consistent.")
+    if args.trace:
+        n_events = validate_chrome_trace(world.tracer.to_chrome())
+        world.tracer.write(args.trace)
+        print(f"trace: {n_events} events -> {args.trace} (valid Chrome trace)")
 
 
 if __name__ == "__main__":

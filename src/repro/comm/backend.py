@@ -46,6 +46,7 @@ from repro.comm.costmodel import (
     reduce_scatter_time,
 )
 from repro.comm.handles import InFlightHandle, LaunchedHandle
+from repro.obs.tracer import NULL_TRACER
 from repro.utils.timer import TimerRegistry
 
 __all__ = ["World", "RankView", "DeadlockError", "CommStats", "OverlapStats"]
@@ -156,6 +157,8 @@ class World:
         # fault/straggler injection (repro.comm.faults); None = clean fleet
         self.fault_plan: FaultPlan | None = None
         self.current_step = 0
+        # span tracing (repro.obs.tracer); the null tracer records nothing
+        self.tracer = NULL_TRACER
 
     def begin_step(self, step: int) -> None:
         """Advance the fault-injection step clock (no-op without a plan).
@@ -180,22 +183,91 @@ class World:
         if self.fault_plan is None:
             return 0.0
         members = tuple(range(self.size)) if group is None else tuple(group)
-        return self.fault_plan.apply(self.current_step, phase, members)
+        tracer = self.tracer
+        try:
+            extra = self.fault_plan.apply(self.current_step, phase, members)
+        except CollectiveError as exc:
+            if tracer.enabled:
+                for r in members:
+                    tracer.instant(
+                        f"fault:{phase}", "fault", r,
+                        attrs={"error": type(exc).__name__, "step": self.current_step},
+                    )
+            raise
+        if extra and tracer.enabled:
+            for r in members:
+                tracer.instant(
+                    f"fault:{phase}", "fault", r,
+                    attrs={"delay_seconds": float(extra), "step": self.current_step},
+                )
+        return extra
 
     # ------------------------------------------------------------------
     # phase-style synchronous API
     # ------------------------------------------------------------------
-    def _charge(self, phase: str, seconds: float, nbytes: float) -> None:
+    def _trace_comm(
+        self,
+        phase: str,
+        seconds: float,
+        exposed: float,
+        hidden: float,
+        nbytes: float,
+        group: Sequence[int] | None,
+    ) -> None:
+        """Record one comm span per participating rank (tracing enabled only).
+
+        Spans are recorded at the *exact* ledger-charge sites with the
+        same floats in the same order, so per-phase trace sums reconcile
+        with ``TimerRegistry``/``OverlapStats`` without tolerance.  The
+        ledgers charge each op *once* regardless of group membership, so
+        only the first member's span carries ``owner=True`` — summing
+        owner spans (``Tracer.phase_totals()`` with no rank) rebuilds the
+        global ledger; per-rank spans all carry the timings for display.
+        """
+        tracer = self.tracer
+        members = list(range(self.size)) if group is None else list(group)
+        for r in members:
+            tracer.span(
+                phase,
+                "comm",
+                r,
+                seconds,
+                attrs={
+                    "exposed": exposed,
+                    "hidden": hidden,
+                    "bytes": float(nbytes),
+                    "owner": r == members[0],
+                },
+            )
+
+    def _charge(
+        self,
+        phase: str,
+        seconds: float,
+        nbytes: float,
+        group: Sequence[int] | None = None,
+    ) -> None:
         self.timers.charge(phase, seconds)
         self.stats.record(phase, nbytes)
         self.overlap.record(phase, seconds, 0.0)
+        if self.tracer.enabled:
+            self._trace_comm(phase, seconds, seconds, 0.0, nbytes, group)
 
-    def _settle_async(self, phase: str, seconds: float, overlap_seconds: float) -> None:
+    def _settle_async(
+        self,
+        phase: str,
+        seconds: float,
+        overlap_seconds: float,
+        nbytes: float = 0.0,
+        group: Sequence[int] | None = None,
+    ) -> None:
         """Split an async op's cost into exposed + hidden and account it."""
         hidden = min(seconds, max(0.0, overlap_seconds))
         exposed = seconds - hidden
         self.timers.charge(phase, exposed)
         self.overlap.record(phase, exposed, hidden)
+        if self.tracer.enabled:
+            self._trace_comm(phase, seconds, exposed, hidden, nbytes, group)
 
     def allreduce(
         self,
@@ -251,7 +323,9 @@ class World:
                 out = [codec.quantize(o) for o in out]
         t = allreduce_time(nbytes, self.size, self.net) + extra
         self.stats.record(phase, nbytes)
-        return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
+        return InFlightHandle(
+            out, t, lambda ov: self._settle_async(phase, t, ov, nbytes)
+        )
 
     def allgather(
         self, contributions: Sequence[np.ndarray], phase: str = "allgather"
@@ -271,7 +345,9 @@ class World:
         out = ring_allgather(contribs)
         t = allgather_time(total, self.size, self.net) + extra
         self.stats.record(phase, total)
-        return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
+        return InFlightHandle(
+            out, t, lambda ov: self._settle_async(phase, t, ov, total)
+        )
 
     def broadcast(
         self, value: np.ndarray, root: int = 0, phase: str = "broadcast"
@@ -319,14 +395,18 @@ class World:
         if len(group) == 1:
             if extra:
                 return InFlightHandle(
-                    [[contribs[0]]], extra, lambda ov: self._settle_async(phase, extra, ov)
+                    [[contribs[0]]],
+                    extra,
+                    lambda ov: self._settle_async(phase, extra, ov, 0.0, group),
                 )
             return InFlightHandle([[contribs[0]]], 0.0, lambda ov: None)
         total = float(sum(c.nbytes for c in contribs))
         out = ring_allgather(contribs)
         t = allgather_time(total, len(group), self.net) + extra
         self.stats.record(phase, total)
-        return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
+        return InFlightHandle(
+            out, t, lambda ov: self._settle_async(phase, t, ov, total, group)
+        )
 
     def group_broadcast(
         self,
@@ -360,13 +440,19 @@ class World:
         if len(group) == 1:
             if extra:
                 return InFlightHandle(
-                    [value], extra, lambda ov: self._settle_async(phase, extra, ov)
+                    [value],
+                    extra,
+                    lambda ov: self._settle_async(phase, extra, ov, 0.0, group),
                 )
             return InFlightHandle([value], 0.0, lambda ov: None)
         out = binomial_broadcast(value, len(group), group.index(root))
         t = broadcast_time(value.nbytes, len(group), self.net) + extra
         self.stats.record(phase, float(value.nbytes))
-        return InFlightHandle(out, t, lambda ov: self._settle_async(phase, t, ov))
+        return InFlightHandle(
+            out,
+            t,
+            lambda ov: self._settle_async(phase, t, ov, float(value.nbytes), group),
+        )
 
     def reduce_scatter(
         self, buffers: Sequence[np.ndarray], phase: str = "reduce_scatter"

@@ -124,8 +124,10 @@ def task_overlap_profile(overlap) -> dict[str, dict[str, float]]:
     Translates the per-phase :class:`repro.comm.backend.OverlapStats` into
     the task vocabulary of :mod:`repro.sched` (``FactorComm``, ``EigShare``,
     ``GradShare``, ...), so training histories can report which *task kind*
-    paid exposed communication and which overlapped.  Phases without a task
-    mapping keep their phase name.
+    paid exposed communication and which overlapped.  Every mapped task
+    kind is always present — kinds that never ran report zeroed fields, so
+    downstream tables see a stable schema.  Phases without a task mapping
+    keep their phase name.
 
     Example
     -------
@@ -133,10 +135,18 @@ def task_overlap_profile(overlap) -> dict[str, dict[str, float]]:
     >>> from repro.comm.engine import task_overlap_profile
     >>> stats = OverlapStats()
     >>> stats.record("factor_comm", exposed=0.2, hidden=0.8)
-    >>> task_overlap_profile(stats)
-    {'FactorComm': {'exposed': 0.2, 'hidden': 0.8}}
+    >>> profile = task_overlap_profile(stats)
+    >>> profile["FactorComm"]
+    {'exposed': 0.2, 'hidden': 0.8}
+    >>> sorted(profile)                       # zeroed kinds still present
+    ['EigShare', 'FactorComm', 'GradAllReduce', 'GradShare']
+    >>> profile["EigShare"]
+    {'exposed': 0.0, 'hidden': 0.0}
     """
-    out: dict[str, dict[str, float]] = {}
+    out: dict[str, dict[str, float]] = {
+        kind: {"exposed": 0.0, "hidden": 0.0}
+        for kind in _PHASE_TO_TASK_KIND.values()
+    }
     for phase, entry in overlap.as_dict().items():
         kind = _PHASE_TO_TASK_KIND.get(phase, phase)
         bucket = out.setdefault(kind, {"exposed": 0.0, "hidden": 0.0})

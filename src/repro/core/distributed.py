@@ -44,6 +44,7 @@ from repro.core.comm_ops import (
     unpack_arrays,
 )
 from repro.core.preconditioner import KFAC
+from repro.utils.logging import NULL_LOGGER, Logger
 
 __all__ = ["LocalDriver", "PhaseController", "SPMDDriver"]
 
@@ -122,6 +123,7 @@ class PhaseController:
         kfacs: Sequence[KFAC],
         world: World,
         retry_policy: RetryPolicy | None = RetryPolicy(),
+        logger: Logger = NULL_LOGGER,
     ) -> None:
         if len(kfacs) != world.size:
             raise ValueError(f"got {len(kfacs)} KFAC replicas for world size {world.size}")
@@ -136,6 +138,8 @@ class PhaseController:
         #: bounded retry-with-backoff for failed collectives; ``None``
         #: propagates the first :class:`CollectiveError` unchanged
         self.retry_policy = retry_policy
+        #: degraded-path events (retries, fallbacks) surface as warnings
+        self.logger = logger
         self.comm_retries = 0
         self.comm_fallbacks = 0
 
@@ -147,9 +151,11 @@ class PhaseController:
         (the step generator then falls back to stale state); re-raises on
         any other phase.  Backoff seconds are charged to the
         ``retry_backoff`` timer phase so degraded steps are visible in the
-        simulated time ledger.
+        simulated time ledger; each retry/fallback is warned through
+        ``self.logger`` and marked on the trace.
         """
         policy = self.retry_policy
+        tracer = self.world.tracer
         attempt = 0
         while True:
             try:
@@ -163,9 +169,36 @@ class PhaseController:
                     self.world.overlap.record("retry_backoff", backoff, 0.0)
                     self.comm_retries += 1
                     attempt += 1
+                    self.logger.warn(
+                        f"{phase}: collective failed ({exc}); retry "
+                        f"{attempt}/{policy.max_retries} after {backoff:.4g}s"
+                    )
+                    if tracer.enabled:
+                        for r in range(self.world.size):
+                            tracer.instant(
+                                f"retry:{phase}", "fault", r,
+                                attrs={"attempt": attempt},
+                            )
+                            tracer.span(
+                                "retry_backoff", "comm", r, backoff,
+                                attrs={
+                                    "exposed": backoff,
+                                    "hidden": 0.0,
+                                    "bytes": 0.0,
+                                    "retry_of": phase,
+                                    "owner": r == 0,
+                                },
+                            )
                     continue
                 if phase in policy.fallback_phases:
                     self.comm_fallbacks += 1
+                    self.logger.warn(
+                        f"{phase}: retries exhausted ({exc}); falling back "
+                        "to stale state"
+                    )
+                    if tracer.enabled:
+                        for r in range(self.world.size):
+                            tracer.instant(f"fallback:{phase}", "fault", r)
                     return CollectiveFailed(phase=phase, error=exc)
                 raise
 
@@ -418,6 +451,7 @@ class SPMDDriver:
         kfac: KFAC,
         hvd: HorovodContext,
         retry_policy: RetryPolicy | None = RetryPolicy(),
+        logger: Logger = NULL_LOGGER,
     ) -> None:
         if kfac.world_size != hvd.size():
             raise ValueError(
@@ -428,6 +462,8 @@ class SPMDDriver:
         self.kfac = kfac
         self.hvd = hvd
         self.retry_policy = retry_policy
+        #: degraded-path events (retries, fallbacks) surface as warnings
+        self.logger = logger
         self.comm_retries = 0
         self.comm_fallbacks = 0
 
@@ -437,9 +473,11 @@ class SPMDDriver:
         The world distributes an injected failure to *every* posting rank
         in lockstep, so all members retry the same number of times and
         their matched-op generation counters stay aligned.  Backoff time
-        is charged by rank 0 only (the world ledger is shared).
+        is charged by rank 0 only (the world ledger is shared); each rank
+        warns through its own ``logger`` and marks its own trace track.
         """
         policy = self.retry_policy
+        tracer = self.hvd._view.world.tracer
         attempt = 0
         while True:
             try:
@@ -454,11 +492,37 @@ class SPMDDriver:
                         world = self.hvd._view.world
                         world.timers.charge("retry_backoff", backoff)
                         world.overlap.record("retry_backoff", backoff, 0.0)
+                        if tracer.enabled:
+                            tracer.span(
+                                "retry_backoff", "comm", 0, backoff,
+                                attrs={
+                                    "exposed": backoff,
+                                    "hidden": 0.0,
+                                    "bytes": 0.0,
+                                    "retry_of": ph,
+                                    "owner": True,
+                                },
+                            )
                     self.comm_retries += 1
                     attempt += 1
+                    self.logger.warn(
+                        f"{ph}: collective failed ({exc}); retry "
+                        f"{attempt}/{policy.max_retries} after {backoff:.4g}s"
+                    )
+                    if tracer.enabled:
+                        tracer.instant(
+                            f"retry:{ph}", "fault", self.kfac.rank,
+                            attrs={"attempt": attempt},
+                        )
                     continue
                 if ph in policy.fallback_phases:
                     self.comm_fallbacks += 1
+                    self.logger.warn(
+                        f"{ph}: retries exhausted ({exc}); falling back "
+                        "to stale state"
+                    )
+                    if tracer.enabled:
+                        tracer.instant(f"fallback:{ph}", "fault", self.kfac.rank)
                     return CollectiveFailed(phase=ph, error=exc)
                 raise
 

@@ -65,6 +65,7 @@ from repro.core.comm_ops import (
 from repro.core.inverse import FactorEig
 from repro.core.layers import KFACLayer, make_kfac_layer
 from repro.nn.module import Module
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["KFAC", "KFACHyperParams", "COMM_OPT", "LAYER_WISE", "HYBRID"]
 
@@ -355,6 +356,8 @@ class KFAC:
         self.n_factor_updates = 0
         self.n_second_order_updates = 0
         self.n_eigs_computed_locally = 0
+        # span tracing (repro.obs); the executor inherits this recorder
+        self.tracer = NULL_TRACER
         # graceful-degradation ledger: consecutive failed refreshes per
         # factor key (reset on the next successful exchange), plus totals
         # for TrainingHistory

@@ -11,6 +11,7 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.common import ExperimentResult
 from repro.experiments.correctness import run_fig5, run_table1, run_table2_fig4
+from repro.experiments.drift import run_drift_report
 from repro.experiments.profile_exp import run_fig10, run_table5, run_table6
 from repro.experiments.scaling_exp import run_scaling_figure, run_table4
 from repro.experiments.update_freq import run_table3_fig6
@@ -32,6 +33,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-placement": lambda **kw: run_placement_ablation(),
     "ablation-grad-worker-frac": lambda **kw: run_grad_worker_frac_sweep(),
     "ablation-factor-comm": run_factor_comm_ablation,
+    "drift-report": run_drift_report,
 }
 
 

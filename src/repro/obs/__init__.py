@@ -1,0 +1,60 @@
+"""Observability: per-rank tracing, unified metrics, and drift reports.
+
+Three pieces, layered from recording to analysis:
+
+- :mod:`repro.obs.tracer` — typed :class:`Span` records on deterministic
+  per-rank simulated clocks, exported as Chrome-trace JSON (Perfetto),
+  with a zero-cost :data:`NULL_TRACER` default.
+- :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of labeled
+  counters/gauges/histograms that ``TrainingHistory`` is built on.
+- :mod:`repro.obs.report` — the modeled-vs-measured drift report
+  aligning traced stage times with :class:`IterationModel` predictions
+  (imported lazily: it pulls in :mod:`repro.perfmodel`, which the
+  low-level comm/sched instrumentation must not depend on).
+
+Example
+-------
+>>> from repro.obs import NULL_TRACER, Tracer
+>>> NULL_TRACER.enabled
+False
+>>> tr = Tracer()
+>>> _ = tr.span("forward", "trainer", rank=0, duration=0.0)
+>>> len(tr.spans())
+1
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "validate_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DriftRow",
+    "DriftReport",
+    "fig1_drift_report",
+]
+
+_LAZY = {"DriftRow", "DriftReport", "fig1_drift_report"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.obs import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

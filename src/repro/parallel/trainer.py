@@ -18,8 +18,9 @@ paper's experiments report Top-1 validation accuracy per epoch.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -32,6 +33,8 @@ from repro.data.loader import batch_iterator
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.metrics import topk_accuracy
 from repro.nn.module import Module
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.optim.base import Optimizer
 from repro.optim.lr_scheduler import ConstantSchedule, LRSchedule
 from repro.optim.sgd import SGD
@@ -85,6 +88,10 @@ class TrainerConfig:
     #: bounded retry-with-backoff for failed K-FAC collectives, with
     #: stale-eigenbasis fallback past the budget; None fails fast
     retry_policy: RetryPolicy | None = field(default_factory=RetryPolicy)
+    #: span recorder from :mod:`repro.obs` — installed on the world, every
+    #: preconditioner, and the trainer's phase loop; None disables tracing
+    #: at zero cost (the shared null tracer allocates nothing)
+    tracer: Tracer | None = None
 
     def __post_init__(self) -> None:
         if self.world_size < 1:
@@ -167,6 +174,10 @@ class TrainingHistory:
     kfac_staleness: dict[str, int] = field(default_factory=dict)
     faults_injected: int = 0
     fault_delay_seconds: float = 0.0
+    #: the unified :class:`repro.obs.MetricsRegistry` snapshot the scalar
+    #: ledger fields above are rebuilt from — the one collection point for
+    #: counters that used to live only on World/GradScaler/FaultPlan
+    metrics: dict = field(default_factory=dict)
 
     @property
     def final_val_accuracy(self) -> float:
@@ -236,6 +247,10 @@ class DataParallelTrainer:
             )
         if config.fault_plan is not None:
             self.world.fault_plan = config.fault_plan
+        # one tracer shared by the world's collectives, the schedulers, and
+        # the trainer's phase loop; the null tracer records nothing
+        self.tracer = config.tracer if config.tracer is not None else NULL_TRACER
+        self.world.tracer = self.tracer
         self.train_x, self.train_y = train_x, train_y
         self.val_x, self.val_y = val_x, val_y
 
@@ -283,6 +298,8 @@ class DataParallelTrainer:
                 )
                 for r, m in enumerate(self.replicas)
             ]
+            for k in self.kfacs:
+                k.tracer = self.tracer
             self.kfac_controller = PhaseController(
                 self.kfacs, self.world, retry_policy=config.retry_policy
             )
@@ -317,6 +334,28 @@ class DataParallelTrainer:
     def _global_iterations_per_epoch(self) -> int:
         shard = (len(self.train_x) + self.config.world_size - 1) // self.config.world_size
         return (shard + self.config.batch_size - 1) // self.config.batch_size
+
+    @contextmanager
+    def _phase(self, name: str, **attrs: object) -> Iterator[None]:
+        """Time one Fig. 1 phase, recording a trace span when tracing is on.
+
+        The span carries simulated duration 0.0 — wall time lives in the
+        span's wall fields — so phase tracing never perturbs the per-rank
+        simulated clocks the communication spans advance.
+        """
+        sw = self.stopwatches[name]
+        before = sw.total
+        with sw:
+            yield
+        if self.tracer.enabled:
+            self.tracer.span(
+                f"phase:{name}",
+                "phase",
+                0,
+                duration=0.0,
+                attrs={"step": self.world.current_step, **attrs},
+                wall_seconds=sw.total - before,
+            )
 
     def _exchange_gradients(self) -> None:
         """Fused gradient allreduce (Fig. 1 step X / Horovod fusion buffer).
@@ -358,17 +397,17 @@ class DataParallelTrainer:
         with self.policy.autocast(), overflow_ok:
             for r in range(cfg.world_size):
                 x, y = batches[r]
-                with self.stopwatches["forward"]:
+                with self._phase("forward", replica=r):
                     self.optimizers[r].zero_grad()
                     logits = self.replicas[r](x)
                     loss_val = self.losses[r](logits, y)
-                with self.stopwatches["backward"]:
+                with self._phase("backward", replica=r):
                     seed = scaler.scale_grad(self.losses[r].backward())
                     self.replicas[r].backward(seed)
                 local_losses.append(loss_val)
-        with self.stopwatches["exchange"]:
+        with self._phase("exchange"):
             self._exchange_gradients()
-        with self.stopwatches["update"]:
+        with self._phase("update"):
             if scaler.enabled:
                 found_inf = False
                 for r in range(cfg.world_size):
@@ -423,7 +462,7 @@ class DataParallelTrainer:
                     s.step(epoch)  # type: ignore[attr-defined]
             epoch_losses = []
             shard_batches: list[list[tuple[np.ndarray, np.ndarray]]] = []
-            with self.stopwatches["io"]:
+            with self._phase("io", epoch=epoch):
                 for r in range(cfg.world_size):
                     self.samplers[r].set_epoch(epoch)
                     idx = self.samplers[r].indices()
@@ -470,8 +509,15 @@ class DataParallelTrainer:
         history.comm_bytes = dict(self.world.stats.bytes_by_phase)
         history.grad_fusion_flushes = self._grad_fusion.flush_count
         history.precision = self.policy.name
-        history.amp_skipped_steps = self.grad_scaler.steps_skipped
-        history.final_loss_scale = self.grad_scaler.scale
+        # unified registry pull: the scalar ledger fields below are read
+        # back out of the registry so history and metrics cannot diverge
+        registry = MetricsRegistry()
+        registry.collect_training_run(self)
+        history.metrics = registry.snapshot()
+        history.amp_skipped_steps = int(
+            registry.counter("amp.steps_skipped").total()
+        )
+        history.final_loss_scale = registry.gauge("amp.loss_scale").value()
         if self.kfacs is not None:
             kfac = self.kfacs[0]
             history.kfac_strategy = kfac.hp.strategy
@@ -479,21 +525,25 @@ class DataParallelTrainer:
             history.grad_worker_count = kfac.grad_worker_count
             # staleness is tracked per replica (group shares are noted by
             # members only): surface the worst counter per factor
-            history.kfac_stale_fallbacks = max(
-                k.n_stale_fallbacks for k in self.kfacs
+            history.kfac_stale_fallbacks = int(
+                max(registry.counter("kfac.stale_fallbacks").snapshot().values())
             )
             for k in self.kfacs:
                 for key, count in k.staleness.items():
                     if count > history.kfac_staleness.get(key, 0):
                         history.kfac_staleness[key] = count
         if self.kfac_controller is not None:
-            history.comm_retries = self.kfac_controller.comm_retries
-            history.comm_fallbacks = self.kfac_controller.comm_fallbacks
-        if self.world.fault_plan is not None:
-            history.faults_injected = self.world.fault_plan.events
-            history.fault_delay_seconds = (
-                self.world.fault_plan.injected_delay_seconds
+            history.comm_retries = int(registry.counter("comm.retries").total())
+            history.comm_fallbacks = int(
+                registry.counter("comm.fallbacks").total()
             )
+        if self.world.fault_plan is not None:
+            history.faults_injected = int(
+                registry.counter("faults.injected").total()
+            )
+            history.fault_delay_seconds = registry.gauge(
+                "faults.delay_seconds"
+            ).value()
         return history
 
     # ------------------------------------------------------------------

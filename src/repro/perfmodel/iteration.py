@@ -747,6 +747,70 @@ class IterationModel:
             + per_eig / intervals.eig_interval
         )
 
+    def fig1_stage_times(
+        self,
+        p: int,
+        strategy: str | None = None,
+        intervals: KfacIntervals | None = None,
+        policy: str = "round_robin",
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+        symmetric: bool = False,
+        precision: str = "fp32",
+        grad_worker_frac: float | None = None,
+        scheduler: str | None = None,
+    ) -> dict[str, float]:
+        """Per-iteration seconds for the paper's Fig. 1 decomposition.
+
+        Returns the five stages of the Fig. 1 breakdown — ``io``,
+        ``forward``, ``gradient`` (the backward pass), ``exchange`` (the
+        gradient allreduce), and ``update`` — as modeled per-iteration
+        times.  With a ``strategy`` (and ``intervals``), ``update`` is
+        the full amortized K-FAC surcharge over plain SGD
+        (:meth:`kfac_iteration_time` minus :meth:`sgd_iteration_time`);
+        without one it is 0 (pure SGD applies the step in-place).
+
+        The drift report (:mod:`repro.obs.report`) aligns these rows
+        against a traced run's measured stage times.
+
+        Example
+        -------
+        >>> from repro.perfmodel.hardware import FRONTERA_LIKE, V100_LIKE
+        >>> from repro.perfmodel.iteration import IterationModel, KfacIntervals
+        >>> from repro.perfmodel.specs import resnet_spec
+        >>> im = IterationModel(resnet_spec(50), V100_LIKE, FRONTERA_LIKE)
+        >>> stages = im.fig1_stage_times(8, "comm-opt",
+        ...                              KfacIntervals.from_eig_interval(10))
+        >>> sorted(stages)
+        ['exchange', 'forward', 'gradient', 'io', 'update']
+        >>> all(v > 0 for v in stages.values())
+        True
+        >>> im.fig1_stage_times(8)["update"]
+        0.0
+        """
+        stages = {
+            "io": self.device.per_iter_overhead,
+            "forward": self.forward_time(precision),
+            "gradient": self.backward_time(precision),
+            "exchange": self.grad_exchange_time(p, precision),
+        }
+        if strategy is None:
+            stages["update"] = 0.0
+        else:
+            if intervals is None:
+                raise ValueError("fig1_stage_times with a strategy needs intervals")
+            stages["update"] = self.kfac_iteration_time(
+                p,
+                strategy,
+                intervals,
+                policy=policy,
+                bucket_bytes=bucket_bytes,
+                symmetric=symmetric,
+                precision=precision,
+                grad_worker_frac=grad_worker_frac,
+                scheduler=scheduler,
+            ) - self.sgd_iteration_time(p, precision)
+        return stages
+
     def straggler_penalty(
         self,
         p: int,

@@ -256,12 +256,32 @@ def resnet_spec(depth: int, input_size: int = 224, num_classes: int = 1000) -> M
     return b.build()
 
 
-def cifar_resnet_spec(depth: int, input_size: int = 32, num_classes: int = 10) -> ModelSpec:
-    """K-FAC spec of a CIFAR-style ResNet (6n+2 layers)."""
+def cifar_resnet_spec(
+    depth: int,
+    input_size: int = 32,
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+) -> ModelSpec:
+    """K-FAC spec of a CIFAR-style ResNet (6n+2 layers).
+
+    ``width_multiplier`` scales the stage widths with the same
+    ``max(1, round(w * multiplier))`` rule as the trainable
+    :class:`repro.nn.resnet` builder, so a drift report can model exactly
+    the slimmed network an experiment actually trains.
+
+    Example
+    -------
+    >>> from repro.perfmodel.specs import cifar_resnet_spec
+    >>> tiny = cifar_resnet_spec(8, input_size=10, width_multiplier=0.25)
+    >>> [l.g_dim for l in tiny.kfac_layers[:2]]   # 16*0.25 -> 4
+    [4, 4]
+    """
     if (depth - 2) % 6 != 0:
         raise ValueError(f"CIFAR ResNet depth must be 6n+2, got {depth}")
     n = (depth - 2) // 6
-    widths = (16, 32, 64)
+    widths = tuple(
+        max(1, int(round(w * width_multiplier))) for w in (16, 32, 64)
+    )
     b = _SpecBuilder(f"resnet{depth}-cifar")
     size = b.conv("stem.conv", 3, widths[0], 3, 1, 1, input_size)
     b.bn(widths[0])

@@ -47,6 +47,7 @@ from repro.core.comm_ops import (
     unpack_arrays,
 )
 from repro.core.inverse import eigendecompose, explicit_damped_inverse
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["GraphExecutor"]
 
@@ -96,6 +97,8 @@ class GraphExecutor:
         self._raw: dict[str, np.ndarray] = {}
         self._wire: list[np.ndarray] | None = None
         self._transport_dtype: np.dtype | None = None
+        #: span recorder (repro.obs); inherited from the preconditioner
+        self.tracer = getattr(kfac, "tracer", NULL_TRACER)
 
     # ------------------------------------------------------------------
     # protocol
@@ -122,10 +125,20 @@ class GraphExecutor:
                 yield from self._wait_tag(tag)
 
     def _wait_tag(self, tag: str) -> Generator[Any, Any, None]:
-        result = yield WaitRequest(tag=tag, compute_seconds=self._pending_compute)
+        budget = self._pending_compute
+        result = yield WaitRequest(tag=tag, compute_seconds=budget)
         self._pending_compute = 0.0
         install = self._pending.pop(tag)
         install(result)
+        if self.tracer.enabled:
+            self.tracer.wait(
+                self.kfac.rank,
+                tag,
+                attrs={
+                    "compute_seconds": budget,
+                    "failed": isinstance(result, CollectiveFailed),
+                },
+            )
 
     def _dispatch(self, task: Any) -> Generator[Any, Any, None]:
         kind = task.kind
@@ -165,6 +178,16 @@ class GraphExecutor:
         tensors = [self._wire[i] for i in idxs]
         if self.plan.pipelined:
             tag = f"fac:{b}"
+            if self.tracer.enabled:
+                self.tracer.launch(
+                    kfac.rank,
+                    tag,
+                    attrs={
+                        "task": "FactorComm",
+                        "bucket": b,
+                        "bytes": float(sum(t.nbytes for t in tensors)),
+                    },
+                )
             yield AllReduceLaunch(
                 tensors=tensors,
                 op="average",
@@ -222,7 +245,16 @@ class GraphExecutor:
                     explicit_damped_inverse(factor, kfac.damping)
                 ]
             kfac.n_eigs_computed_locally += 1
-            self._pending_compute += estimate_second_order_seconds([meta.dim], eigen)
+            seconds = estimate_second_order_seconds([meta.dim], eigen)
+            self._pending_compute += seconds
+            if self.tracer.enabled:
+                self.tracer.span(
+                    f"Eig:{meta.key}",
+                    "task",
+                    kfac.rank,
+                    seconds,
+                    attrs={"layer": meta.layer, "dim": meta.dim},
+                )
         else:
             # per-layer decomposition that stays local (LAYER_WISE owner)
             name = task.payload["layer"]
@@ -234,6 +266,16 @@ class GraphExecutor:
             else:
                 layer.inv_A, layer.inv_G = layer.compute_inverses(kfac.damping)
             kfac.n_eigs_computed_locally += 2
+            if self.tracer.enabled:
+                self.tracer.span(
+                    f"Eig:{name}",
+                    "task",
+                    kfac.rank,
+                    estimate_second_order_seconds(
+                        [layer.a_dim, layer.g_dim], eigen
+                    ),
+                    attrs={"layer": name},
+                )
 
     # ------------------------------------------------------------------
     # EigShare
@@ -265,6 +307,16 @@ class GraphExecutor:
             install([flat])
         elif self.plan.pipelined:
             tag = f"eig:{task.payload['bucket']}"
+            if self.tracer.enabled:
+                self.tracer.launch(
+                    kfac.rank,
+                    tag,
+                    attrs={
+                        "task": "EigShare",
+                        "bucket": task.payload["bucket"],
+                        "bytes": float(flat.nbytes),
+                    },
+                )
             yield AllGatherLaunch(tensor=flat, phase="eig_comm", tag=tag)
             self._task_tag[task.name] = tag
             self._pending[tag] = install
@@ -321,6 +373,17 @@ class GraphExecutor:
 
         if self.plan.pipelined:
             tag = f"share:grp{ranks[0]}"
+            if self.tracer.enabled:
+                self.tracer.launch(
+                    kfac.rank,
+                    tag,
+                    attrs={
+                        "task": "EigShare",
+                        "group": list(ranks),
+                        "member": in_group,
+                        "bytes": float(flat.nbytes) if flat is not None else 0.0,
+                    },
+                )
             yield GroupAllGatherLaunch(
                 tensor=flat, ranks=ranks, phase="eig_comm", tag=tag
             )
@@ -346,9 +409,16 @@ class GraphExecutor:
         self._pre[name] = layer.precondition(
             raw, kfac.damping, kfac.hp.use_eigen_decomp
         )
-        self._pending_compute += estimate_precondition_seconds(
-            [(layer.g_dim, layer.a_dim)]
-        )
+        seconds = estimate_precondition_seconds([(layer.g_dim, layer.a_dim)])
+        self._pending_compute += seconds
+        if self.tracer.enabled:
+            self.tracer.span(
+                f"Precondition:{name}",
+                "task",
+                kfac.rank,
+                seconds,
+                attrs={"layer": name},
+            )
 
     def _is_grad_worker(self, layer_name: str) -> bool:
         return self.kfac.is_grad_worker(layer_name)
@@ -379,6 +449,16 @@ class GraphExecutor:
 
         if self.plan.pipelined:
             tag = f"grad:root{root}"
+            if self.tracer.enabled:
+                self.tracer.launch(
+                    kfac.rank,
+                    tag,
+                    attrs={
+                        "task": "GradShare",
+                        "root": root,
+                        "bytes": float(flat.nbytes) if flat is not None else 0.0,
+                    },
+                )
             yield GroupBroadcastLaunch(
                 tensor=flat, root=root, ranks=participants, phase="precond_comm", tag=tag
             )

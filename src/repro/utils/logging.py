@@ -15,7 +15,15 @@ __all__ = ["Logger", "NULL_LOGGER"]
 class Logger:
     """Minimal leveled logger.
 
-    Levels: 0 = silent, 1 = info, 2 = debug.
+    Levels: 0 = silent, 1 = info + warn, 2 = debug.
+
+    Example
+    -------
+    >>> import io
+    >>> log = Logger("driver", stream=io.StringIO())
+    >>> log.warn("eig_comm retry 1/2")
+    >>> log.stream.getvalue()
+    '[driver:warn] eig_comm retry 1/2\\n'
     """
 
     def __init__(self, name: str, level: int = 1, stream: TextIO | None = None) -> None:
@@ -26,6 +34,12 @@ class Logger:
     def info(self, msg: str) -> None:
         if self.level >= 1:
             print(f"[{self.name}] {msg}", file=self.stream)
+
+    def warn(self, msg: str) -> None:
+        """Always-on at level >= 1, tagged ``[name:warn]`` — degraded-path
+        events (retries, fallbacks) that should not pass silently."""
+        if self.level >= 1:
+            print(f"[{self.name}:warn] {msg}", file=self.stream)
 
     def debug(self, msg: str) -> None:
         if self.level >= 2:

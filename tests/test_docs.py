@@ -36,6 +36,7 @@ PACKAGES = [
     "repro.elastic",
     "repro.experiments",
     "repro.nn",
+    "repro.obs",
     "repro.optim",
     "repro.parallel",
     "repro.perfmodel",

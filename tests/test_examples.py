@@ -52,6 +52,23 @@ class TestExamples:
         assert "resumed from step 4" in out
         assert "replica parameters stayed in sync" in out
 
+    def test_quickstart_trace_export(self, tmp_path):
+        trace = tmp_path / "quickstart-trace.json"
+        out = run_example(
+            "quickstart.py", "--workers", "2", "--steps", "6",
+            "--trace", str(trace),
+        )
+        assert "valid Chrome trace" in out
+        assert trace.exists()
+
+    def test_trace_step(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        out = run_example("trace_step.py", "--out", str(trace))
+        assert "drift-report" in out
+        assert "valid Chrome trace" in out
+        assert "rank 0:" in out and "rank 3:" in out
+        assert trace.exists()
+
     def test_imagenet_scaling_study(self):
         out = run_example("imagenet_scaling_study.py", "--depths", "50")
         assert "ResNet-50 time-to-solution" in out
