@@ -1,0 +1,162 @@
+"""Staleness-tolerant eigenbases and adaptive damping.
+
+Two adaptivity mechanisms that replace fixed schedules with feedback:
+
+- :class:`DriftTrigger` — instead of refreshing eigendecompositions every
+  ``kfac_update_freq`` steps, refresh when the factor running averages
+  have *drifted* from the snapshot they were last decomposed in, with the
+  per-factor staleness budget (``max_eig_staleness``, shared with the
+  graceful-degradation machinery in :mod:`repro.elastic`) as a hard upper
+  bound: a basis must refresh once its budget is exhausted even when the
+  drift metric says "fresh enough".
+- :class:`AdaptiveDamping` — a Levenberg–Marquardt-style damping schedule
+  driven by the Eq. 18 KL-clip statistic ``nu``: persistent clipping
+  (``nu`` far below 1) means the preconditioned step is too aggressive,
+  so damping grows; persistently unclipped steps let damping decay back
+  toward its floor.  This targets the large-batch pathologies of Ma et
+  al. (arXiv:1903.06237) without introducing any cross-rank state: ``nu``
+  is computed from already-averaged gradients, so every rank takes the
+  same decision in lockstep.
+
+Both classes are deterministic pure-python state machines so the drift /
+damping behavior is unit-testable without running a training loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DriftTrigger", "AdaptiveDamping"]
+
+
+@dataclass(frozen=True)
+class DriftTrigger:
+    """Decide eigenbasis refreshes from factor drift, under a staleness cap.
+
+    ``tol`` is the relative Frobenius drift above which a refresh fires;
+    ``budget`` is the maximum number of *skipped* refresh candidates a
+    basis may survive (one more candidate forces a refresh).  A missing
+    basis (step 0, or the warmup-to-blocked transition) always refreshes.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.approx.adaptive import DriftTrigger
+    >>> trig = DriftTrigger(tol=0.5, budget=2)
+    >>> trig.drift(np.eye(2), np.eye(2))
+    0.0
+    >>> round(trig.drift(2.0 * np.eye(2), np.eye(2)), 3)   # ||A - S|| / ||S||
+    1.0
+    >>> trig.should_refresh(max_drift=0.1, worst_staleness=0)
+    False
+    >>> trig.should_refresh(max_drift=0.9, worst_staleness=0)
+    True
+    >>> trig.should_refresh(max_drift=0.1, worst_staleness=2)   # budget spent
+    True
+    >>> trig.should_refresh(max_drift=0.0, worst_staleness=0, has_basis=False)
+    True
+    """
+
+    tol: float
+    budget: int
+
+    def __post_init__(self) -> None:
+        if not self.tol > 0:
+            raise ValueError(f"drift tol must be > 0, got {self.tol}")
+        if self.budget < 0:
+            raise ValueError(f"staleness budget must be >= 0, got {self.budget}")
+
+    @staticmethod
+    def drift(current: np.ndarray, snapshot: np.ndarray) -> float:
+        """Relative Frobenius change ``||current - snapshot|| / ||snapshot||``."""
+        ref = float(np.linalg.norm(snapshot))
+        if ref == 0.0:
+            return math.inf
+        delta = np.asarray(current, dtype=np.float64) - np.asarray(
+            snapshot, dtype=np.float64
+        )
+        return float(np.linalg.norm(delta)) / ref
+
+    def should_refresh(
+        self, max_drift: float, worst_staleness: int, has_basis: bool = True
+    ) -> bool:
+        """True when any of: no basis, drift over tol, budget exhausted."""
+        if not has_basis:
+            return True
+        if worst_staleness >= self.budget:
+            return True
+        return max_drift > self.tol
+
+
+class AdaptiveDamping:
+    """LM-style damping schedule fed by the Eq. 18 KL-clip factor ``nu``.
+
+    An EMA of ``nu`` smooths single-step noise.  When the EMA falls below
+    ``nu_low`` the KL constraint is persistently clipping the update —
+    the curvature estimate is under-damped — so damping is multiplied by
+    ``growth`` (capped at ``damping_max``).  When the EMA exceeds
+    ``nu_high`` the constraint is slack and damping decays by ``1 /
+    growth`` toward ``damping_min``.  Deterministic given the ``nu``
+    stream, hence lockstep across ranks.
+
+    Example
+    -------
+    >>> from repro.approx.adaptive import AdaptiveDamping
+    >>> ad = AdaptiveDamping(0.01, nu_low=0.5, nu_high=0.95, ema=0.0)
+    >>> ad.update(0.1)          # heavily clipped: damping grows
+    0.015
+    >>> ad.update(1.0) < 0.015  # unclipped: damping decays
+    True
+    >>> ad.damping >= ad.damping_min
+    True
+    """
+
+    def __init__(
+        self,
+        damping: float,
+        damping_min: float = 1e-6,
+        damping_max: float = 10.0,
+        growth: float = 1.5,
+        nu_low: float = 0.5,
+        nu_high: float = 0.95,
+        ema: float = 0.75,
+    ) -> None:
+        if not damping > 0:
+            raise ValueError(f"damping must be > 0, got {damping}")
+        if not 0 < damping_min <= damping <= damping_max:
+            raise ValueError(
+                f"need 0 < damping_min <= damping <= damping_max, got "
+                f"({damping_min}, {damping}, {damping_max})"
+            )
+        if not growth > 1:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        if not 0 <= nu_low < nu_high <= 1:
+            raise ValueError(f"need 0 <= nu_low < nu_high <= 1, got ({nu_low}, {nu_high})")
+        if not 0 <= ema < 1:
+            raise ValueError(f"ema must be in [0, 1), got {ema}")
+        self.damping = damping
+        self.damping_min = damping_min
+        self.damping_max = damping_max
+        self.growth = growth
+        self.nu_low = nu_low
+        self.nu_high = nu_high
+        self.ema = ema
+        self._nu_ema = 1.0
+        self.n_grows = 0
+        self.n_shrinks = 0
+
+    def update(self, nu: float) -> float:
+        """Fold one step's ``nu`` in; return the damping for the next step."""
+        if not 0 <= nu <= 1:
+            raise ValueError(f"nu must be in [0, 1], got {nu}")
+        self._nu_ema = self.ema * self._nu_ema + (1.0 - self.ema) * nu
+        if self._nu_ema < self.nu_low:
+            self.damping = min(self.damping_max, self.damping * self.growth)
+            self.n_grows += 1
+        elif self._nu_ema > self.nu_high:
+            self.damping = max(self.damping_min, self.damping / self.growth)
+            self.n_shrinks += 1
+        return self.damping

@@ -41,7 +41,15 @@ from repro.comm.costmodel import (
     broadcast_time,
     reduce_scatter_time,
 )
-from repro.comm.fusion import FusionBuffer, tri_len, tri_pack, tri_unpack
+from repro.comm.fusion import (
+    FusionBuffer,
+    block_tri_len,
+    tri_len,
+    tri_pack,
+    tri_pack_blocks,
+    tri_unpack,
+    tri_unpack_blocks,
+)
 from repro.comm.horovod import Average, DistributedOptimizer, HorovodContext, Sum
 
 __all__ = [
@@ -54,6 +62,9 @@ __all__ = [
     "tri_len",
     "tri_pack",
     "tri_unpack",
+    "block_tri_len",
+    "tri_pack_blocks",
+    "tri_unpack_blocks",
     "ring_allreduce",
     "ring_allgather",
     "ring_reduce_scatter",

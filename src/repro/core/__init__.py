@@ -21,8 +21,10 @@ Layout:
 """
 
 from repro.core.assignment import (
+    BlockMeta,
     FactorMeta,
     GroupPlacement,
+    plan_block_metas,
     build_group_placement,
     grad_worker_count,
     grad_worker_groups,
@@ -72,6 +74,8 @@ __all__ = [
     "SPMDDriver",
     "KFACParamScheduler",
     "FactorMeta",
+    "BlockMeta",
+    "plan_block_metas",
     "round_robin_assignment",
     "greedy_balanced_assignment",
     "GroupPlacement",

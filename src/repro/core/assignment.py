@@ -32,6 +32,8 @@ from typing import Callable, Sequence
 
 __all__ = [
     "FactorMeta",
+    "BlockMeta",
+    "plan_block_metas",
     "eig_cost",
     "round_robin_assignment",
     "greedy_balanced_assignment",
@@ -67,6 +69,82 @@ class FactorMeta:
     @property
     def n_elements(self) -> int:
         return self.dim * self.dim
+
+
+@dataclass(frozen=True)
+class BlockMeta:
+    """Identity and size of one diagonal block of a Kronecker factor.
+
+    When ``diag_blocks > 1`` the unit of assignment, scheduling, and
+    communication becomes the *block*, not the factor: every placement
+    policy in this module works on either (they only read ``key`` and
+    ``dim``), so finer blocks directly improve LPT balance.  ``dim`` is
+    the block edge; ``(lo, hi)`` is the half-open row/col range the block
+    occupies in its parent factor (see
+    :func:`repro.approx.blocks.plan_block_bounds` for the partition
+    policy).
+
+    Example
+    -------
+    >>> from repro.core.assignment import BlockMeta
+    >>> blk = BlockMeta(layer="conv1", kind="A", dim=14, block=1, lo=14, hi=28)
+    >>> blk.key, blk.n_elements, blk.parent_key
+    ('conv1/A#1', 196, 'conv1/A')
+    """
+
+    layer: str  # owning layer name
+    kind: str  # "A" or "G"
+    dim: int  # block edge (hi - lo)
+    block: int  # block index within the parent factor
+    lo: int  # first row/col of the block in the parent factor
+    hi: int  # one past the last row/col
+
+    @property
+    def key(self) -> str:
+        return f"{self.layer}/{self.kind}#{self.block}"
+
+    @property
+    def parent_key(self) -> str:
+        return f"{self.layer}/{self.kind}"
+
+    @property
+    def n_elements(self) -> int:
+        return self.dim * self.dim
+
+
+def plan_block_metas(
+    factors: Sequence[FactorMeta],
+    bounds_list: Sequence[Sequence[tuple[int, int]]],
+) -> list[BlockMeta]:
+    """Expand factor metas into per-block metas, factor order preserved.
+
+    Blocks of one factor are consecutive, so wire payload order stays
+    deterministic across ranks.
+
+    Example
+    -------
+    >>> from repro.core.assignment import FactorMeta, plan_block_metas
+    >>> metas = plan_block_metas([FactorMeta("l0", "A", 4)], [((0, 2), (2, 4))])
+    >>> [(m.key, m.dim, m.lo, m.hi) for m in metas]
+    [('l0/A#0', 2, 0, 2), ('l0/A#1', 2, 2, 4)]
+    """
+    if len(factors) != len(bounds_list):
+        raise ValueError(
+            f"{len(factors)} factors but {len(bounds_list)} bound sets"
+        )
+    out: list[BlockMeta] = []
+    for meta, bounds in zip(factors, bounds_list):
+        if bounds[-1][1] != meta.dim:
+            raise ValueError(
+                f"{meta.key}: bounds cover {bounds[-1][1]} of {meta.dim} rows"
+            )
+        for j, (lo, hi) in enumerate(bounds):
+            out.append(
+                BlockMeta(
+                    layer=meta.layer, kind=meta.kind, dim=hi - lo, block=j, lo=lo, hi=hi
+                )
+            )
+    return out
 
 
 def eig_cost(meta: FactorMeta) -> float:

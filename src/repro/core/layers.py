@@ -53,10 +53,13 @@ class KFACLayer:
         self.g_output: np.ndarray | None = None
         self.A: np.ndarray | None = None  # running-average activation factor
         self.G: np.ndarray | None = None  # running-average grad factor
-        self.eig_A: FactorEig | None = None
-        self.eig_G: FactorEig | None = None
+        self.eig_A: FactorEig | BlockFactorEig | None = None
+        self.eig_G: FactorEig | BlockFactorEig | None = None
         self.inv_A: np.ndarray | None = None
         self.inv_G: np.ndarray | None = None
+        # per-block eigenbases staged by the distributed install path until
+        # every block of a factor has arrived: kind -> {block index -> eig}
+        self._pending_block_eig: dict[str, dict[int, FactorEig]] = {}
 
     # -- shapes ----------------------------------------------------------
     @property
@@ -154,11 +157,54 @@ class KFACLayer:
         else:
             w.grad[...] = mat.reshape(w.grad.shape)
 
+    def install_block_eig(
+        self,
+        kind: str,
+        block: int,
+        eig: FactorEig,
+        bounds: tuple[tuple[int, int], ...],
+    ) -> None:
+        """Stage one block's eigendecomposition; assemble when all arrived.
+
+        Blocks of one factor may arrive in any order (they are assigned to
+        different workers and shipped in different buckets); the factor's
+        ``eig_A``/``eig_G`` flips to the new :class:`BlockFactorEig`
+        atomically once the last block lands, so preconditioning never
+        sees a half-refreshed basis.
+        """
+        # imported lazily: repro.approx.blockeig itself imports
+        # repro.core.inverse, and a module-level import here would close
+        # that loop when repro.approx is the first package loaded
+        from repro.approx.blockeig import BlockFactorEig
+
+        if not 0 <= block < len(bounds):
+            raise ValueError(
+                f"layer {self.name}: block {block} out of range for "
+                f"{len(bounds)} bounds"
+            )
+        parts = self._pending_block_eig.setdefault(kind, {})
+        parts[block] = eig
+        if len(parts) == len(bounds):
+            assembled = BlockFactorEig(
+                blocks=tuple(parts[j] for j in range(len(bounds))), bounds=tuple(bounds)
+            )
+            if kind == "A":
+                self.eig_A = assembled
+            else:
+                self.eig_G = assembled
+            del self._pending_block_eig[kind]
+
     def precondition(self, grad_mat: np.ndarray, gamma: float, use_eigen: bool) -> np.ndarray:
         """Apply the current second-order state to a packed gradient."""
+        from repro.approx.blockeig import BlockFactorEig, precondition_block_eigen
+
         if use_eigen:
             if self.eig_A is None or self.eig_G is None:
                 raise RuntimeError(f"layer {self.name}: eigendecompositions not ready")
+            if isinstance(self.eig_A, BlockFactorEig) or isinstance(
+                self.eig_G, BlockFactorEig
+            ):
+                return precondition_block_eigen(grad_mat, self.eig_A, self.eig_G, gamma)
             return precondition_eigen(grad_mat, self.eig_A, self.eig_G, gamma)
         if self.inv_A is None or self.inv_G is None:
             raise RuntimeError(f"layer {self.name}: inverses not ready")

@@ -46,15 +46,19 @@ from typing import Any, Generator, Sequence
 
 import numpy as np
 
+from repro.approx.adaptive import AdaptiveDamping, DriftTrigger
+from repro.approx.blocks import plan_block_bounds
 from repro.comm.compression import ErrorFeedback, get_codec
 from repro.comm.faults import StaleEigenbasisError
 from repro.comm.fusion import tri_len
 from repro.core.assignment import (
+    BlockMeta,
     FactorMeta,
     GroupPlacement,
     build_group_placement,
     greedy_balanced_assignment,
     layer_wise_assignment,
+    plan_block_metas,
     round_robin_assignment,
 )
 from repro.core.comm_ops import (
@@ -161,6 +165,41 @@ class KFACHyperParams:
         past the driver's retry budget) a factor may absorb by
         preconditioning with its last-known eigenbasis before the step
         hard-fails with :class:`repro.comm.faults.StaleEigenbasisError`.
+        With ``drift_tol`` set it doubles as the drift trigger's hard
+        refresh budget: a basis may skip at most this many refresh
+        candidates, however small its drift.
+    diag_blocks:
+        Block-diagonal factor approximation (:mod:`repro.approx`): the
+        *widest* factor in the model is partitioned into this many
+        diagonal blocks, and every other factor into proportionally
+        fewer (same target block edge; factors narrower than one block
+        stay exact).  Each block is eigendecomposed, assigned, and
+        communicated independently — finer Eig/EigShare tasks for the
+        graph scheduler, ``~k^2``-fold cheaper eigs on the widest
+        layers, and block-triangle-only factor payloads.  ``1``
+        (default) is the exact path, bit-identical to the seed code.
+        Requires ``use_eigen_decomp=True`` when ``> 1``.
+    diag_warmup:
+        Number of leading *second-order updates* that use exact (full
+        factor) eigendecompositions before block approximation engages
+        — early steps benefit from exact curvature while the factors
+        are still moving fast.
+    drift_tol:
+        Staleness-tolerant eigenbases: replace the fixed
+        ``kfac_update_freq`` refresh schedule with a drift trigger.  On
+        every factor-update step, refresh the eigendecompositions iff
+        the relative Frobenius drift of any factor (or block) from the
+        snapshot it was last decomposed in exceeds this tolerance — or
+        a basis has exhausted its ``max_eig_staleness`` skip budget, or
+        has no basis yet (step 0).  ``None`` (default) keeps the fixed
+        schedule.  Decisions are computed from post-allreduce factor
+        state, so every rank decides identically in lockstep.
+    adapt_damping:
+        Levenberg–Marquardt-style adaptive damping driven by the Eq. 18
+        KL-clip statistic (:class:`repro.approx.adaptive.AdaptiveDamping`):
+        persistent clipping grows ``damping``, persistently unclipped
+        steps decay it toward its floor.  Lockstep across ranks (the
+        statistic is computed from already-averaged gradients).
     """
 
     lr: float = 0.1
@@ -180,6 +219,10 @@ class KFACHyperParams:
     symmetric_comm: bool = True
     comm_dtype: str | None = None
     max_eig_staleness: int = 3
+    diag_blocks: int = 1
+    diag_warmup: int = 0
+    drift_tol: float | None = None
+    adapt_damping: bool = False
 
     def __post_init__(self) -> None:
         if self.comm_dtype in ("fp32", "none"):
@@ -236,6 +279,18 @@ class KFACHyperParams:
             self.async_comm = None
         if self.bucket_bytes is not None and self.bucket_bytes <= 0:
             raise ValueError(f"bucket_bytes must be positive, got {self.bucket_bytes}")
+        if not isinstance(self.diag_blocks, int) or self.diag_blocks < 1:
+            raise ValueError(f"diag_blocks must be an int >= 1, got {self.diag_blocks!r}")
+        if self.diag_blocks > 1 and not self.use_eigen_decomp:
+            raise ValueError(
+                "diag_blocks > 1 requires the eigendecomposition path "
+                "(use_eigen_decomp=True); the explicit-inverse variant has no "
+                "blocked form"
+            )
+        if not isinstance(self.diag_warmup, int) or self.diag_warmup < 0:
+            raise ValueError(f"diag_warmup must be an int >= 0, got {self.diag_warmup!r}")
+        if self.drift_tol is not None and not self.drift_tol > 0:
+            raise ValueError(f"drift_tol must be > 0 (or None), got {self.drift_tol}")
 
 
 class KFAC:
@@ -352,6 +407,61 @@ class KFAC:
             # participants) broadcast plan — are built once here
             self._group_metas = self._build_group_metas()
             self._bcast_plan = self._build_broadcast_plan()
+        # block-diagonal approximation (repro.approx): past diag_warmup
+        # second-order updates the unit of assignment, scheduling, and
+        # communication becomes the diagonal *block*; these mirror the
+        # factor-level structures above and are built once, here
+        self._block_bounds: dict[str, tuple[tuple[int, int], ...]] = {}
+        self._block_metas: list[BlockMeta] = []
+        self._block_assignment: dict[str, int] = {}
+        self._group_block_metas: list[tuple[tuple[int, ...], list[BlockMeta]]] = []
+        if base.diag_blocks > 1:
+            bounds_list = plan_block_bounds(
+                [m.dim for m in self._factor_metas], base.diag_blocks
+            )
+            self._block_bounds = {
+                m.key: tuple(b) for m, b in zip(self._factor_metas, bounds_list)
+            }
+            self._block_metas = plan_block_metas(self._factor_metas, bounds_list)
+            if base.strategy == HYBRID:
+                assert self._placement is not None
+                # same layer->group map as the factor-level placement (groups
+                # depend only on the layer list); only the within-group owner
+                # of each *block* is re-balanced
+                block_placement = build_group_placement(
+                    self._block_metas,
+                    world_size,
+                    base.grad_worker_frac,
+                    policy=base.assignment,
+                )
+                self._block_assignment = dict(block_placement.assignment)
+                grouped: dict[tuple[int, ...], list[BlockMeta]] = {}
+                for bm in self._block_metas:
+                    grouped.setdefault(self._placement.groups[bm.layer], []).append(bm)
+                self._group_block_metas = list(grouped.items())
+            elif base.assignment == "greedy":
+                self._block_assignment = greedy_balanced_assignment(
+                    self._block_metas, world_size
+                )
+            else:
+                self._block_assignment = round_robin_assignment(
+                    self._block_metas, world_size
+                )
+        # staleness-tolerant eigenbases: drift-triggered refresh state
+        self._drift_trigger: DriftTrigger | None = (
+            DriftTrigger(base.drift_tol, base.max_eig_staleness)
+            if base.drift_tol is not None
+            else None
+        )
+        #: per-meta factor snapshots taken at each refresh (the state the
+        #: current eigenbases were decomposed in), fed to the drift metric
+        self._basis_snapshot: dict[str, np.ndarray] = {}
+        self.n_drift_refreshes = 0
+        self.n_drift_skips = 0
+        # adaptive damping fed by the Eq. 18 KL statistic (executor hook)
+        self._adaptive_damping: AdaptiveDamping | None = (
+            AdaptiveDamping(base.damping) if base.adapt_damping else None
+        )
         # instrumentation counters
         self.n_factor_updates = 0
         self.n_second_order_updates = 0
@@ -365,9 +475,10 @@ class KFAC:
         self.n_stale_fallbacks = 0
         self.n_factor_comm_failures = 0
         self.n_eig_share_failures = 0
-        #: step plans cached per (update_factors, update_second_order) —
-        #: the graph/schedule depend only on static placement metadata
-        self._plans: dict[tuple[bool, bool], Any] = {}
+        #: step plans cached per (update_factors, update_second_order,
+        #: blocks_active) — the graph/schedule depend only on static
+        #: placement metadata plus which approximation phase is active
+        self._plans: dict[tuple[bool, bool, bool], Any] = {}
 
     # ------------------------------------------------------------------
     # hooks
@@ -426,6 +537,32 @@ class KFAC:
     def factor_assignment(self) -> dict[str, int]:
         """factor key -> owning worker."""
         return dict(self._factor_assignment)
+
+    @property
+    def blocks_active(self) -> bool:
+        """Is the block-diagonal approximation phase currently engaged?
+
+        True once ``diag_blocks > 1`` and ``diag_warmup`` exact
+        second-order updates have completed; from then on plans, wire
+        payloads, and Eig/EigShare tasks operate on block metas.
+        """
+        return (
+            self.hp.diag_blocks > 1
+            and self.n_second_order_updates >= self.hp.diag_warmup
+        )
+
+    def comm_metas(self, blocked: bool) -> "list[FactorMeta] | list[BlockMeta]":
+        """The step's comm/eig units: block metas when ``blocked``."""
+        return self._block_metas if blocked else self._factor_metas
+
+    def comm_assignment(self, blocked: bool) -> dict[str, int]:
+        """meta key -> owning worker, for the step's comm units."""
+        return self._block_assignment if blocked else self._factor_assignment
+
+    def _owner_of(self, meta: "FactorMeta | BlockMeta") -> int:
+        if isinstance(meta, BlockMeta):
+            return self._block_assignment[meta.key]
+        return self._factor_assignment[meta.key]
 
     @property
     def grad_worker_placement(self) -> GroupPlacement | None:
@@ -531,7 +668,10 @@ class KFAC:
         from repro.sched.executor import GraphExecutor
 
         update_factors = self.steps % self.fac_update_freq == 0
-        update_second_order = self.steps % self.kfac_update_freq == 0
+        # fixed kfac_update_freq schedule, or the drift trigger's verdict
+        # (decided *before* this step's EMA fold-in, from post-allreduce
+        # factor state — identical on every rank, hence lockstep plans)
+        update_second_order = self._refresh_due(update_factors)
 
         if update_factors:
             # Algorithm 1 step 1: local factors, running averages
@@ -543,7 +683,79 @@ class KFAC:
         yield from GraphExecutor(self, plan).run()
         if update_second_order:
             self.n_second_order_updates += 1
+            self._snapshot_basis_factors()
         self.steps += 1
+
+    def _refresh_due(self, update_factors: bool) -> bool:
+        """Should this step refresh the eigendecompositions?
+
+        Without ``drift_tol`` this is the classic fixed schedule
+        (``steps % kfac_update_freq == 0``, so step 0 always refreshes).
+        With the drift trigger, refresh candidates are factor-update
+        steps; the decision refreshes iff any basis is missing, any
+        factor (or block) drifted past tolerance since it was last
+        decomposed, or any basis has exhausted its ``max_eig_staleness``
+        skip budget — the budget binds even when the drift metric says
+        "fresh enough".  Skipped candidates accrue per-meta staleness.
+        """
+        trig = self._drift_trigger
+        if trig is None:
+            return self.steps % self.kfac_update_freq == 0
+        if not update_factors:
+            return False
+        metas = self.comm_metas(self.blocks_active)
+        max_drift = 0.0
+        worst_staleness = 0
+        has_basis = True
+        for meta in metas:
+            layer = self._layer_by_name(meta.layer)
+            factor = layer.A if meta.kind == "A" else layer.G
+            snap = self._basis_snapshot.get(meta.key)
+            if factor is None or snap is None or not self._has_second_order(meta):
+                has_basis = False
+                break
+            lo, hi = (meta.lo, meta.hi) if isinstance(meta, BlockMeta) else (0, meta.dim)
+            max_drift = max(max_drift, trig.drift(factor[lo:hi, lo:hi], snap))
+            worst_staleness = max(worst_staleness, self.staleness.get(meta.key, 0))
+        refresh = trig.should_refresh(max_drift, worst_staleness, has_basis)
+        if refresh:
+            self.n_drift_refreshes += 1
+        else:
+            self.n_drift_skips += 1
+            for meta in metas:
+                self.staleness[meta.key] = self.staleness.get(meta.key, 0) + 1
+        self.tracer.instant(
+            f"refresh:{'go' if refresh else 'skip'}",
+            "approx",
+            self.rank,
+            attrs={
+                "step": self.steps,
+                "max_drift": round(max_drift, 6),
+                "worst_staleness": worst_staleness,
+                "has_basis": has_basis,
+            },
+        )
+        return refresh
+
+    def _snapshot_basis_factors(self) -> None:
+        """Record the factor state the just-refreshed bases decompose.
+
+        Runs after the executor, so the snapshots hold post-allreduce
+        values — identical on every rank, which keeps later drift
+        decisions in lockstep.  Keys follow the *next* step's meta
+        granularity (the warmup-to-blocked transition therefore reads as
+        "no basis" and forces one refresh under the new keys).
+        """
+        if self._drift_trigger is None:
+            return
+        self._basis_snapshot.clear()
+        for meta in self.comm_metas(self.blocks_active):
+            layer = self._layer_by_name(meta.layer)
+            factor = layer.A if meta.kind == "A" else layer.G
+            if factor is None:  # pragma: no cover - refresh implies factors
+                continue
+            lo, hi = (meta.lo, meta.hi) if isinstance(meta, BlockMeta) else (0, meta.dim)
+            self._basis_snapshot[meta.key] = np.array(factor[lo:hi, lo:hi], copy=True)
 
     def build_plan(
         self, update_factors: bool = True, update_second_order: bool = True
@@ -562,10 +774,12 @@ class KFAC:
         """
         from repro.sched.planner import build_step_plan
 
-        key = (bool(update_factors), bool(update_second_order))
+        blocked = self.blocks_active
+        key = (bool(update_factors), bool(update_second_order), blocked)
         plan = self._plans.get(key)
         if plan is not None:
             return plan
+        comm_metas = self.comm_metas(blocked)
         pipelined = (
             self.hp.scheduler == "graph"
             and self.world_size > 1
@@ -575,11 +789,12 @@ class KFAC:
         )
         wire: list[int] | None = None
         if update_factors and self.world_size > 1:
-            # per-factor wire bytes: triangular packing and compressed
-            # transport shrink the payloads the partition actually sees
+            # per-unit wire bytes (block metas past warmup — only the block
+            # triangles ship): triangular packing and compressed transport
+            # shrink the payloads the partition actually sees
             codec = get_codec(self.hp.comm_dtype)
             wire = []
-            for meta in self._factor_metas:
+            for meta in comm_metas:
                 layer = self._layer_by_name(meta.layer)
                 factor = layer.A if meta.kind == "A" else layer.G
                 assert factor is not None, "plan built before factor update"
@@ -589,10 +804,10 @@ class KFAC:
         groups: tuple = ()
         bcast_entries: tuple = ()
         if self.hp.strategy == HYBRID:
-            index = {m.key: i for i, m in enumerate(self._factor_metas)}
+            index = {m.key: i for i, m in enumerate(comm_metas)}
+            group_metas = self._group_block_metas if blocked else self._group_metas
             groups = tuple(
-                (grp, [index[m.key] for m in metas])
-                for grp, metas in self._group_metas
+                (grp, [index[m.key] for m in metas]) for grp, metas in group_metas
             )
             bcast_entries = tuple(
                 (root, [l.name for l in layers_r])
@@ -601,7 +816,7 @@ class KFAC:
         plan = build_step_plan(
             strategy=self.hp.strategy,
             world_size=self.world_size,
-            factor_metas=self._factor_metas,
+            factor_metas=comm_metas,
             layer_names=[l.name for l in self.layers],
             groups=groups,
             bcast_entries=bcast_entries,
@@ -610,31 +825,36 @@ class KFAC:
             update_factors=update_factors,
             update_second_order=update_second_order,
             pipelined=pipelined,
+            blocked=blocked,
         )
         self._plans[key] = plan
         return plan
 
-    def _compress_factor_tensors(self, tensors: list[np.ndarray]) -> list[np.ndarray]:
+    def _compress_factor_tensors(
+        self, tensors: list[np.ndarray], metas: "Sequence[FactorMeta | BlockMeta] | None" = None
+    ) -> list[np.ndarray]:
         """Quantize factor payloads for compressed transport, with EF.
 
-        A no-op without ``comm_dtype``.  Residuals are keyed by factor so
-        what fp16/bf16 rounds away this exchange is re-injected into the
-        next one; the yielded arrays are wire-precision fp32 values (the
-        driver's codec round-trips them losslessly and charges wire bytes).
+        A no-op without ``comm_dtype``.  Residuals are keyed by comm unit
+        (factor, or block past warmup) so what fp16/bf16 rounds away this
+        exchange is re-injected into the next one; the yielded arrays are
+        wire-precision fp32 values (the driver's codec round-trips them
+        losslessly and charges wire bytes).
         """
         if self._comm_ef is None:
             return tensors
-        return [
-            self._comm_ef.apply(meta.key, t)
-            for meta, t in zip(self._factor_metas, tensors)
-        ]
+        if metas is None:
+            metas = self._factor_metas
+        return [self._comm_ef.apply(meta.key, t) for meta, t in zip(metas, tensors)]
 
     def _install_second_order_chunk(
-        self, gathered: Sequence[np.ndarray], chunk_metas: Sequence[FactorMeta]
+        self,
+        gathered: Sequence[np.ndarray],
+        chunk_metas: "Sequence[FactorMeta | BlockMeta]",
     ) -> None:
         """Install one pipeline chunk's gathered second-order payloads."""
         for worker in range(self.world_size):
-            metas = [m for m in chunk_metas if self._factor_assignment[m.key] == worker]
+            metas = [m for m in chunk_metas if self._owner_of(m) == worker]
             shapes: list[tuple[int, ...]] = []
             for meta in metas:
                 if self.hp.use_eigen_decomp:
@@ -643,29 +863,29 @@ class KFAC:
                     shapes.append((meta.dim, meta.dim))
             arrays = unpack_arrays(gathered[worker], shapes)
             idx = 0
+            step = 2 if self.hp.use_eigen_decomp else 1
             for meta in metas:
-                layer = self._layer_by_name(meta.layer)
-                if self.hp.use_eigen_decomp:
-                    eig = FactorEig(Q=arrays[idx], lam=arrays[idx + 1])
-                    idx += 2
-                    if meta.kind == "A":
-                        layer.eig_A = eig
-                    else:
-                        layer.eig_G = eig
-                else:
-                    inv = arrays[idx]
-                    idx += 1
-                    if meta.kind == "A":
-                        layer.inv_A = inv
-                    else:
-                        layer.inv_G = inv
+                self._install_factor_state(meta, arrays[idx : idx + step])
+                idx += step
 
-    def _install_factor_state(self, meta: FactorMeta, arrays: Sequence[np.ndarray]) -> None:
-        """Install one factor's second-order payload into its layer."""
+    def _install_factor_state(
+        self, meta: "FactorMeta | BlockMeta", arrays: Sequence[np.ndarray]
+    ) -> None:
+        """Install one factor's (or factor block's) payload into its layer.
+
+        Block payloads are *staged*: the layer assembles a
+        :class:`repro.approx.blockeig.BlockFactorEig` only once every
+        block of the factor has arrived, so a half-shipped refresh never
+        preconditions.
+        """
         layer = self._layer_by_name(meta.layer)
         if self.hp.use_eigen_decomp:
             eig = FactorEig(Q=arrays[0], lam=arrays[1])
-            if meta.kind == "A":
+            if isinstance(meta, BlockMeta):
+                layer.install_block_eig(
+                    meta.kind, meta.block, eig, self._block_bounds[meta.parent_key]
+                )
+            elif meta.kind == "A":
                 layer.eig_A = eig
             else:
                 layer.eig_G = eig
@@ -729,6 +949,10 @@ class KFAC:
             "use_eigen_decomp": self.hp.use_eigen_decomp,
             "symmetric_comm": self.hp.symmetric_comm,
             "comm_dtype": self.hp.comm_dtype,
+            # informational (not a naive-resume match key): blocked bases
+            # checkpoint as their dense block-diagonal assembly and any
+            # diag_blocks run can resume them — the next refresh re-blocks
+            "diag_blocks": self.hp.diag_blocks,
         }
 
     def state_dict(self) -> dict:

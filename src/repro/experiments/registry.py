@@ -9,6 +9,7 @@ from repro.experiments.ablations import (
     run_grad_worker_frac_sweep,
     run_placement_ablation,
 )
+from repro.experiments.approx_exp import run_approximation_sweep
 from repro.experiments.common import ExperimentResult
 from repro.experiments.correctness import run_fig5, run_table1, run_table2_fig4
 from repro.experiments.drift import run_drift_report
@@ -33,6 +34,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-placement": lambda **kw: run_placement_ablation(),
     "ablation-grad-worker-frac": lambda **kw: run_grad_worker_frac_sweep(),
     "ablation-factor-comm": run_factor_comm_ablation,
+    "approximation-sweep": run_approximation_sweep,
     "drift-report": run_drift_report,
 }
 

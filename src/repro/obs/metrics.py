@@ -273,6 +273,14 @@ class MetricsRegistry:
             self.counter("kfac.second_order_updates").inc(
                 first.n_second_order_updates
             )
+            # drift-triggered refresh bookkeeping (zero when the trigger
+            # is disabled; counters are lockstep so rank 0 suffices)
+            self.counter("kfac.drift_refreshes").inc(
+                getattr(first, "n_drift_refreshes", 0)
+            )
+            self.counter("kfac.drift_skips").inc(
+                getattr(first, "n_drift_skips", 0)
+            )
 
     def collect_driver(self, driver) -> None:
         """Fold a driver's retry/fallback tallies in."""

@@ -32,6 +32,7 @@ from repro.core.assignment import (
     grad_worker_count,
     greedy_balanced_assignment,
     layer_wise_assignment,
+    plan_block_metas,
     round_robin_assignment,
     worker_costs,
 )
@@ -175,6 +176,7 @@ class IterationModel:
         self.cluster = cluster
         self.local_batch = local_batch
         self._factor_metas = self._build_metas()
+        self._block_meta_cache: dict[int, list] = {}
 
     def _build_metas(self) -> list[FactorMeta]:
         metas: list[FactorMeta] = []
@@ -183,6 +185,23 @@ class IterationModel:
         for l in self.model.kfac_layers:
             metas.append(FactorMeta(l.name, "G", l.g_dim))
         return metas
+
+    def _comm_metas(self, diag_blocks: int = 1) -> list:
+        """Assignment/scheduling units at the given block granularity.
+
+        ``diag_blocks=1`` is the whole-factor baseline; ``> 1`` splits
+        each factor into the same widest-first diagonal blocks the real
+        ``KFAC(diag_blocks=k)`` preconditioner schedules.
+        """
+        if diag_blocks <= 1:
+            return self._factor_metas
+        cached = self._block_meta_cache.get(diag_blocks)
+        if cached is None:
+            cached = plan_block_metas(
+                self._factor_metas, self.model.block_bounds(diag_blocks)
+            )
+            self._block_meta_cache[diag_blocks] = cached
+        return cached
 
     @property
     def n_layers(self) -> int:
@@ -282,18 +301,25 @@ class IterationModel:
         return self.device.factor_capture_coef * float(self.n_layers) ** 2
 
     def factor_comm_payload_bytes(
-        self, packed: bool = False, precision: str = "fp32"
+        self, packed: bool = False, precision: str = "fp32", diag_blocks: int = 1
     ) -> int:
         """Per-worker factor-allreduce wire payload.
 
         ``packed`` applies triangular packing (~0.5x); a half-precision
         ``precision`` applies the wire codec (another 0.5x) — combined,
-        ~0.25x the dense fp32 payload.
+        ~0.25x the dense fp32 payload.  ``diag_blocks > 1`` ships only
+        the diagonal-block triangles (the blocked wire format).
         """
-        return self.model.factor_payload_bytes(packed, self.comm_itemsize(precision))
+        return self.model.factor_payload_bytes(
+            packed, self.comm_itemsize(precision), diag_blocks
+        )
 
     def factor_comm_time(
-        self, p: int, packed: bool = False, precision: str = "fp32"
+        self,
+        p: int,
+        packed: bool = False,
+        precision: str = "fp32",
+        diag_blocks: int = 1,
     ) -> float:
         """Allreduce of all running-average factors (one op per factor).
 
@@ -304,9 +330,11 @@ class IterationModel:
         if p <= 1:
             return 0.0
         base = allreduce_time(
-            self.factor_comm_payload_bytes(packed, precision), p, self.cluster.net
+            self.factor_comm_payload_bytes(packed, precision, diag_blocks),
+            p,
+            self.cluster.net,
         )
-        return base + self.cluster.op_launch * self.model.n_factors
+        return base + self.cluster.op_launch * len(self._comm_metas(diag_blocks))
 
     def factor_stage_time(
         self, p: int, symmetric: bool = False, precision: str = "fp32"
@@ -327,19 +355,28 @@ class IterationModel:
             + self.device.eig_factor_overhead
         )
 
-    def eig_worker_times(self, p: int, strategy: str, policy: str = "round_robin") -> list[float]:
+    def eig_worker_times(
+        self,
+        p: int,
+        strategy: str,
+        policy: str = "round_robin",
+        diag_blocks: int = 1,
+    ) -> list[float]:
         """Per-worker eigendecomposition seconds for one K-FAC update.
 
         ``strategy``: ``"comm-opt"`` assigns individual factors;
         ``"layer-wise"`` assigns whole layers (both factors co-located).
+        ``diag_blocks > 1`` assigns per-block eigendecompositions — the
+        cubic cost drop plus the finer LPT balance of the blocked path.
         """
+        metas = self._comm_metas(diag_blocks)
         if strategy == "comm-opt":
             if policy == "greedy":
-                assignment = greedy_balanced_assignment(self._factor_metas, p)
+                assignment = greedy_balanced_assignment(metas, p)
             else:
-                assignment = round_robin_assignment(self._factor_metas, p)
+                assignment = round_robin_assignment(metas, p)
             return worker_costs(
-                self._factor_metas, assignment, p,
+                metas, assignment, p,
                 cost_fn=lambda m: self._eig_seconds(m.dim),
             )
         if strategy == "layer-wise":
@@ -347,6 +384,10 @@ class IterationModel:
                 [l.name for l in self.model.kfac_layers], p
             )
             loads = [0.0] * p
+            if diag_blocks > 1:
+                for m in metas:
+                    loads[layer_assignment[m.layer]] += self._eig_seconds(m.dim)
+                return loads
             for l in self.model.kfac_layers:
                 loads[layer_assignment[l.name]] += self._eig_seconds(l.a_dim) + self._eig_seconds(
                     l.g_dim
@@ -354,16 +395,24 @@ class IterationModel:
             return loads
         raise ValueError(f"unknown strategy {strategy!r}")
 
-    def eig_stage_time(self, p: int, strategy: str, policy: str = "round_robin") -> float:
+    def eig_stage_time(
+        self,
+        p: int,
+        strategy: str,
+        policy: str = "round_robin",
+        diag_blocks: int = 1,
+    ) -> float:
         """Slowest-worker eigendecomposition time (the stage is a barrier)."""
-        return max(self.eig_worker_times(p, strategy, policy))
+        return max(self.eig_worker_times(p, strategy, policy, diag_blocks))
 
-    def eig_comm_time(self, p: int) -> float:
+    def eig_comm_time(self, p: int, diag_blocks: int = 1) -> float:
         """Allgather of all eigendecompositions (K-FAC-opt only; flat in P)."""
         if p <= 1:
             return 0.0
-        base = allgather_time(self.model.eig_bytes, p, self.cluster.net)
-        return base + self.cluster.op_launch * self.model.n_factors * 2
+        base = allgather_time(
+            self.model.eig_payload_bytes(4, diag_blocks), p, self.cluster.net
+        )
+        return base + self.cluster.op_launch * len(self._comm_metas(diag_blocks)) * 2
 
     # ------------------------------------------------------------------
     # pipelined (async) communication: exposed vs. hidden
@@ -373,13 +422,17 @@ class IterationModel:
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         packed: bool = False,
         precision: str = "fp32",
+        diag_blocks: int = 1,
     ) -> int:
         """Number of pipeline chunks the factor exchange splits into."""
         if bucket_bytes <= 0:
             raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
         return max(
             1,
-            math.ceil(self.factor_comm_payload_bytes(packed, precision) / bucket_bytes),
+            math.ceil(
+                self.factor_comm_payload_bytes(packed, precision, diag_blocks)
+                / bucket_bytes
+            ),
         )
 
     def pipelined_comm_times(
@@ -389,6 +442,7 @@ class IterationModel:
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         symmetric: bool = False,
         precision: str = "fp32",
+        diag_blocks: int = 1,
     ) -> tuple[float, float]:
         """(exposed factor comm, exposed eig comm) under SPD-KFAC pipelining.
 
@@ -414,10 +468,14 @@ class IterationModel:
         """
         if p <= 1:
             return 0.0, 0.0
-        fac_total = self.factor_comm_time(p, packed=symmetric, precision=precision)
-        eig_total = self.eig_comm_time(p)
-        n = self.pipeline_chunks(bucket_bytes, packed=symmetric, precision=precision)
-        min_worker_eig = min(self.eig_worker_times(p, "comm-opt", policy))
+        fac_total = self.factor_comm_time(
+            p, packed=symmetric, precision=precision, diag_blocks=diag_blocks
+        )
+        eig_total = self.eig_comm_time(p, diag_blocks)
+        n = self.pipeline_chunks(
+            bucket_bytes, packed=symmetric, precision=precision, diag_blocks=diag_blocks
+        )
+        min_worker_eig = min(self.eig_worker_times(p, "comm-opt", policy, diag_blocks))
 
         fac_budget = (
             self.backward_time(precision)
@@ -520,7 +578,9 @@ class IterationModel:
         launches = self.cluster.op_launch * roots
         return base * self.cluster.sync_penalty(p) + launches
 
-    def eig_group_comm_time(self, p: int, grad_worker_frac: float) -> float:
+    def eig_group_comm_time(
+        self, p: int, grad_worker_frac: float, diag_blocks: int = 1
+    ) -> float:
         """Group eigenbasis-share seconds for one K-FAC update.
 
         ``f = 1`` degenerates to the COMM_OPT world allgather
@@ -540,11 +600,13 @@ class IterationModel:
         if g == 1:
             return 0.0
         if g >= p:
-            return self.eig_comm_time(p)
+            return self.eig_comm_time(p, diag_blocks)
         n_groups = min(p, self.n_layers)
         per_rank_windows = g * n_groups / p
-        per_group = self.model.eig_bytes / n_groups
-        launches = self.cluster.op_launch * self.model.n_factors * 2 * g / p
+        per_group = self.model.eig_payload_bytes(4, diag_blocks) / n_groups
+        launches = (
+            self.cluster.op_launch * len(self._comm_metas(diag_blocks)) * 2 * g / p
+        )
         return per_rank_windows * allgather_time(per_group, g, self.cluster.net) + launches
 
     def hybrid_share_exposed_time(
@@ -581,7 +643,11 @@ class IterationModel:
         return first + max(0.0, (total - first) - budget)
 
     def hybrid_eig_stage_time(
-        self, p: int, grad_worker_frac: float, policy: str = "round_robin"
+        self,
+        p: int,
+        grad_worker_frac: float,
+        policy: str = "round_robin",
+        diag_blocks: int = 1,
     ) -> float:
         """Slowest rank's eigendecomposition time under group placement.
 
@@ -591,11 +657,10 @@ class IterationModel:
         would exhibit; degenerates to the COMM_OPT assignment at
         ``f = 1`` and the LAYER_WISE loads at ``f = 1/p``.
         """
-        placement = build_group_placement(
-            self._factor_metas, p, grad_worker_frac, policy=policy
-        )
+        metas = self._comm_metas(diag_blocks)
+        placement = build_group_placement(metas, p, grad_worker_frac, policy=policy)
         loads = worker_costs(
-            self._factor_metas, placement.assignment, p,
+            metas, placement.assignment, p,
             cost_fn=lambda m: self._eig_seconds(m.dim),
         )
         return max(loads)
@@ -667,6 +732,7 @@ class IterationModel:
         precision: str = "fp32",
         grad_worker_frac: float | None = None,
         scheduler: str | None = None,
+        diag_blocks: int = 1,
     ) -> float:
         """Average per-iteration time including amortized K-FAC stages.
 
@@ -688,6 +754,9 @@ class IterationModel:
         share of :meth:`hybrid_share_exposed_time`); ``"sync"`` the
         synchronous stream; ``None`` defers to the ``pipelined`` flag
         (the retired hand-written pipelines).
+        ``diag_blocks > 1`` prices the block-diagonal approximation of
+        ``KFAC(diag_blocks=k)``: per-block eigendecompositions (cubic
+        cost drop, finer LPT balance) and the block-triangle wire.
         """
         if scheduler is not None:
             if scheduler not in ("sync", "graph"):
@@ -701,10 +770,12 @@ class IterationModel:
                 raise ValueError("strategy='hybrid' requires grad_worker_frac")
             if pipelined:
                 fac_comm = self.pipelined_comm_times(
-                    p, policy, bucket_bytes, symmetric, precision
+                    p, policy, bucket_bytes, symmetric, precision, diag_blocks
                 )[0]
             else:
-                fac_comm = self.factor_comm_time(p, packed=symmetric, precision=precision)
+                fac_comm = self.factor_comm_time(
+                    p, packed=symmetric, precision=precision, diag_blocks=diag_blocks
+                )
             per_fac = (
                 self.factor_compute_time(syrk=symmetric, precision=precision)
                 + self.factor_capture_overhead()
@@ -713,30 +784,35 @@ class IterationModel:
             share_comm = (
                 self.hybrid_share_exposed_time(p, grad_worker_frac, precision)
                 if scheduler == "graph"
-                else self.eig_group_comm_time(p, grad_worker_frac)
+                else self.eig_group_comm_time(p, grad_worker_frac, diag_blocks)
             )
-            per_eig = self.hybrid_eig_stage_time(p, grad_worker_frac, policy) + share_comm
+            per_eig = (
+                self.hybrid_eig_stage_time(p, grad_worker_frac, policy, diag_blocks)
+                + share_comm
+            )
             per_iter = self.hybrid_precondition_time(
                 p, grad_worker_frac
             ) + self.precond_share_time(p, grad_worker_frac)
         elif strategy == "comm-opt":
             if pipelined:
                 fac_comm, eig_comm = self.pipelined_comm_times(
-                    p, policy, bucket_bytes, symmetric, precision
+                    p, policy, bucket_bytes, symmetric, precision, diag_blocks
                 )
             else:
-                fac_comm = self.factor_comm_time(p, packed=symmetric, precision=precision)
-                eig_comm = self.eig_comm_time(p)
+                fac_comm = self.factor_comm_time(
+                    p, packed=symmetric, precision=precision, diag_blocks=diag_blocks
+                )
+                eig_comm = self.eig_comm_time(p, diag_blocks)
             per_fac = (
                 self.factor_compute_time(syrk=symmetric, precision=precision)
                 + self.factor_capture_overhead()
                 + fac_comm
             )
-            per_eig = self.eig_stage_time(p, strategy, policy) + eig_comm
+            per_eig = self.eig_stage_time(p, strategy, policy, diag_blocks) + eig_comm
             per_iter = self.precondition_time_all()
         elif strategy == "layer-wise":
             per_fac = self.factor_stage_time(p, symmetric=symmetric, precision=precision)
-            per_eig = self.eig_stage_time(p, strategy)
+            per_eig = self.eig_stage_time(p, strategy, diag_blocks=diag_blocks)
             per_iter = self.precondition_time_layer_wise(p) + self.precond_gather_time(p)
         else:
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -904,6 +980,7 @@ class IterationModel:
         precision: str = "fp32",
         grad_worker_frac: float | None = None,
         scheduler: str | None = None,
+        diag_blocks: int = 1,
     ) -> StageProfile:
         """Per-update-step stage profile (the paper's Table V row).
 
@@ -930,6 +1007,12 @@ class IterationModel:
         flag, which models the retired hand-written pipelines (hybrid
         overlapped the factor stage only, leaving the group share fully
         exposed).
+
+        ``diag_blocks > 1`` prices the block-diagonal approximation:
+        per-block eigendecompositions shrink ``eig_tcomp`` (cubic cost)
+        and ``eig_tcomm``/``factor_comm_payload_bytes`` (block-triangle
+        wire); ``diag_blocks=1`` reproduces the whole-factor numbers
+        exactly.
         """
         if scheduler is not None:
             if scheduler not in ("sync", "graph"):
@@ -937,22 +1020,26 @@ class IterationModel:
                     f"scheduler must be 'sync' or 'graph', got {scheduler!r}"
                 )
             pipelined = scheduler == "graph"
-        fac_comm = self.factor_comm_time(p, packed=symmetric, precision=precision)
+        fac_comm = self.factor_comm_time(
+            p, packed=symmetric, precision=precision, diag_blocks=diag_blocks
+        )
         if grad_worker_frac is None:
-            eig_comm = self.eig_comm_time(p)
-            eig_tcomp = self.eig_stage_time(p, "comm-opt", policy)
+            eig_comm = self.eig_comm_time(p, diag_blocks)
+            eig_tcomp = self.eig_stage_time(p, "comm-opt", policy, diag_blocks)
             precond_tcomm = 0.0
-            eig_mem = float(self.model.eig_bytes)
+            eig_mem = float(self.model.eig_payload_bytes(4, diag_blocks))
             share_bytes = 0.0
         else:
-            eig_comm = self.eig_group_comm_time(p, grad_worker_frac)
-            eig_tcomp = self.hybrid_eig_stage_time(p, grad_worker_frac, policy)
+            eig_comm = self.eig_group_comm_time(p, grad_worker_frac, diag_blocks)
+            eig_tcomp = self.hybrid_eig_stage_time(
+                p, grad_worker_frac, policy, diag_blocks
+            )
             precond_tcomm = self.precond_share_time(p, grad_worker_frac)
             eig_mem = self.eigenbasis_bytes_per_rank(p, grad_worker_frac)
             share_bytes = self.precond_share_bytes_per_rank(p, grad_worker_frac)
         if pipelined:
             fac_exposed, eig_exposed = self.pipelined_comm_times(
-                p, policy, bucket_bytes, symmetric, precision
+                p, policy, bucket_bytes, symmetric, precision, diag_blocks
             )
             if grad_worker_frac is not None:
                 if scheduler == "graph":
@@ -975,7 +1062,7 @@ class IterationModel:
             factor_tcomm_exposed=fac_exposed,
             eig_tcomm_exposed=eig_exposed,
             factor_comm_payload_bytes=float(
-                self.factor_comm_payload_bytes(symmetric, precision)
+                self.factor_comm_payload_bytes(symmetric, precision, diag_blocks)
             ),
             precond_tcomm=precond_tcomm,
             eigenbasis_bytes_per_rank=eig_mem,

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.comm.fusion import tri_len
+from repro.approx.blocks import block_eig_elements, plan_block_bounds
+from repro.comm.fusion import block_tri_len, tri_len
 from repro.nn.resnet import IMAGENET_DEPTH_CONFIGS
 from repro.tensor.im2col import conv_out_size
 
@@ -93,6 +94,29 @@ class ModelSpec:
     bn_params: int = 0
 
     @property
+    def factor_dims(self) -> tuple[int, ...]:
+        """All factor dimensions in canonical meta order (A's, then G's)."""
+        return tuple(
+            [l.a_dim for l in self.kfac_layers] + [l.g_dim for l in self.kfac_layers]
+        )
+
+    def block_bounds(self, diag_blocks: int = 1):
+        """Per-factor diagonal-block bounds under the widest-first policy.
+
+        Mirrors ``KFAC(diag_blocks=k)`` exactly: the block edge is set by
+        the widest factor, so the modeled block shapes match what the
+        preconditioner actually decomposes.
+
+        Example
+        -------
+        >>> from repro.perfmodel.specs import resnet_spec
+        >>> bounds = resnet_spec(50).block_bounds(4)
+        >>> max(hi - lo for b in bounds for lo, hi in b)   # 4608 / 4
+        1152
+        """
+        return plan_block_bounds(self.factor_dims, diag_blocks)
+
+    @property
     def total_params(self) -> int:
         return sum(l.weight_params for l in self.kfac_layers) + self.bn_params
 
@@ -122,14 +146,31 @@ class ModelSpec:
         """
         return self.factor_payload_bytes(packed=True)
 
-    def factor_payload_bytes(self, packed: bool = False, itemsize: int = 4) -> int:
+    def factor_payload_bytes(
+        self, packed: bool = False, itemsize: int = 4, diag_blocks: int = 1
+    ) -> int:
         """Factor wire payload: full or tri-packed, at a transport itemsize.
 
         ``packed=True, itemsize=2`` is the fully-compressed exchange
         (triangular packing x half-precision codec): ~0.25x the dense
-        fp32 bytes.
+        fp32 bytes.  ``diag_blocks > 1`` ships only the diagonal-block
+        region of each factor (the ``KFAC(diag_blocks=k)`` wire format),
+        shrinking the payload further.
+
+        Example
+        -------
+        >>> from repro.perfmodel.specs import resnet_spec
+        >>> spec = resnet_spec(50)
+        >>> spec.factor_payload_bytes(diag_blocks=4) < spec.factor_bytes
+        True
         """
-        if packed:
+        if diag_blocks > 1:
+            bounds = self.block_bounds(diag_blocks)
+            if packed:
+                elements = sum(block_tri_len(b) for b in bounds)
+            else:
+                elements = sum((hi - lo) ** 2 for b in bounds for lo, hi in b)
+        elif packed:
             elements = sum(tri_len(l.a_dim) + tri_len(l.g_dim) for l in self.kfac_layers)
         else:
             elements = sum(l.a_dim**2 + l.g_dim**2 for l in self.kfac_layers)
@@ -140,12 +181,25 @@ class ModelSpec:
         """FP32 payload of all eigendecompositions (Q matrices + eigenvalues)."""
         return self.eig_payload_bytes()
 
-    def eig_payload_bytes(self, itemsize: int = 4) -> int:
+    def eig_payload_bytes(self, itemsize: int = 4, diag_blocks: int = 1) -> int:
         """Eigendecomposition payload at a storage itemsize.
 
         The eigenbasis stays fp32 by precision policy, so ``itemsize=4``
         is the normal case; ``itemsize=8`` prices a float64 run.
+        ``diag_blocks > 1`` stores only per-block ``Q``'s and eigenvalues
+        — ``sum(d_b^2 + d_b)`` instead of ``d^2 + d`` per factor.
+
+        Example
+        -------
+        >>> from repro.perfmodel.specs import resnet_spec
+        >>> spec = resnet_spec(50)
+        >>> spec.eig_payload_bytes(diag_blocks=4) < spec.eig_bytes
+        True
         """
+        if diag_blocks > 1:
+            return itemsize * sum(
+                block_eig_elements(b) for b in self.block_bounds(diag_blocks)
+            )
         return itemsize * sum(l.eig_elements for l in self.kfac_layers)
 
     @property

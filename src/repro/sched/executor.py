@@ -29,8 +29,9 @@ from repro.comm.engine import (
     estimate_precondition_seconds,
     estimate_second_order_seconds,
 )
+from repro.approx.blockeig import block_eigendecompose
 from repro.comm.faults import CollectiveFailed
-from repro.comm.fusion import tri_unpack
+from repro.comm.fusion import tri_pack, tri_unpack
 from repro.core.clipping import kl_clip_factor
 from repro.core.comm_ops import (
     AllGatherLaunch,
@@ -97,6 +98,12 @@ class GraphExecutor:
         self._raw: dict[str, np.ndarray] = {}
         self._wire: list[np.ndarray] | None = None
         self._transport_dtype: np.dtype | None = None
+        #: blocked plans (diag_blocks past warmup) resolve meta indices
+        #: against the preconditioner's block metas/assignment — every
+        #: task below works on either granularity through these two views
+        self._blocked: bool = bool(getattr(plan, "blocked", False))
+        self._metas = kfac.comm_metas(self._blocked)
+        self._assignment = kfac.comm_assignment(self._blocked)
         #: span recorder (repro.obs); inherited from the preconditioner
         self.tracer = getattr(kfac, "tracer", NULL_TRACER)
 
@@ -159,11 +166,28 @@ class GraphExecutor:
     # FactorComm
     # ------------------------------------------------------------------
     def _prepare_wire(self) -> None:
-        """Build the factor wire payloads (tri-packed, EF-compressed)."""
+        """Build the factor wire payloads (tri-packed, EF-compressed).
+
+        Blocked plans ship only each meta's diagonal block — the
+        off-block entries never travel (that is where the byte savings
+        come from); the exact path packs whole factors as before.
+        """
         kfac = self.kfac
-        factors = [l.A for l in kfac.layers] + [l.G for l in kfac.layers]
-        tensors = pack_symmetric(factors) if kfac.hp.symmetric_comm else list(factors)
-        tensors = kfac._compress_factor_tensors(tensors)
+        if self._blocked:
+            tensors = []
+            for meta in self._metas:
+                layer = kfac._layer_by_name(meta.layer)
+                factor = layer.A if meta.kind == "A" else layer.G
+                assert factor is not None, "wire built before factor update"
+                sub = np.ascontiguousarray(factor[meta.lo : meta.hi, meta.lo : meta.hi])
+                tensors.append(tri_pack(sub) if kfac.hp.symmetric_comm else sub)
+            tensors = kfac._compress_factor_tensors(tensors, self._metas)
+        else:
+            factors = [l.A for l in kfac.layers] + [l.G for l in kfac.layers]
+            tensors = (
+                pack_symmetric(factors) if kfac.hp.symmetric_comm else list(factors)
+            )
+            tensors = kfac._compress_factor_tensors(tensors)
         self._wire = tensors
         # same promotion rule as pack_arrays(dtype=None), pinned explicitly
         # because ranks owning nothing in a share chunk still contribute an
@@ -211,17 +235,29 @@ class GraphExecutor:
         if isinstance(reduced, CollectiveFailed):
             # exchange lost past the retry budget: keep the local running
             # averages for this refresh (graceful degradation)
-            kfac._note_factor_comm_failure([kfac._factor_metas[i] for i in idxs])
+            kfac._note_factor_comm_failure([self._metas[i] for i in idxs])
             return
         for i, arr in zip(idxs, reduced):
-            meta = kfac._factor_metas[i]
+            meta = self._metas[i]
             layer = kfac._layer_by_name(meta.layer)
-            if kfac.hp.symmetric_comm:
-                arr = tri_unpack(arr, meta.dim)
-            if meta.kind == "A":
-                layer.A = arr
+            if self._blocked:
+                # write the averaged block in place; off-block entries stay
+                # local (they are never read once blocks are active)
+                target = layer.A if meta.kind == "A" else layer.G
+                db = meta.dim
+                block = (
+                    tri_unpack(arr, db)
+                    if kfac.hp.symmetric_comm
+                    else np.asarray(arr).reshape(db, db)
+                )
+                target[meta.lo : meta.hi, meta.lo : meta.hi] = block
             else:
-                layer.G = arr
+                if kfac.hp.symmetric_comm:
+                    arr = tri_unpack(arr, meta.dim)
+                if meta.kind == "A":
+                    layer.A = arr
+                else:
+                    layer.G = arr
 
     # ------------------------------------------------------------------
     # Eig
@@ -230,13 +266,18 @@ class GraphExecutor:
         kfac = self.kfac
         eigen = kfac.hp.use_eigen_decomp
         if "meta" in task.payload:
-            # per-factor decomposition on the owning rank (COMM_OPT/HYBRID)
-            meta = kfac._factor_metas[task.payload["meta"]]
-            if kfac._factor_assignment[meta.key] != kfac.rank:
+            # per-factor (or per-block) decomposition on the owning rank
+            # (COMM_OPT/HYBRID)
+            meta = self._metas[task.payload["meta"]]
+            if self._assignment[meta.key] != kfac.rank:
                 return
             layer = kfac._layer_by_name(meta.layer)
             factor = layer.A if meta.kind == "A" else layer.G
             assert factor is not None, "second-order update before factor update"
+            if self._blocked:
+                factor = np.ascontiguousarray(
+                    factor[meta.lo : meta.hi, meta.lo : meta.hi]
+                )
             if eigen:
                 eig = eigendecompose(factor)
                 self._computed[meta.key] = [eig.Q, eig.lam]
@@ -262,9 +303,20 @@ class GraphExecutor:
                 return
             layer = kfac._layer_by_name(name)
             if eigen:
-                layer.eig_A, layer.eig_G = layer.compute_eigen()
+                if self._blocked:
+                    layer.eig_A = block_eigendecompose(
+                        layer.A, kfac._block_bounds[f"{name}/A"]
+                    )
+                    layer.eig_G = block_eigendecompose(
+                        layer.G, kfac._block_bounds[f"{name}/G"]
+                    )
+                else:
+                    layer.eig_A, layer.eig_G = layer.compute_eigen()
             else:
                 layer.inv_A, layer.inv_G = layer.compute_inverses(kfac.damping)
+            # local refresh succeeded: reset any drift-skip staleness the
+            # layer's metas accrued (no share step will do it for us here)
+            kfac._clear_staleness([m for m in self._metas if m.layer == name])
             kfac.n_eigs_computed_locally += 2
             if self.tracer.enabled:
                 self.tracer.span(
@@ -289,7 +341,7 @@ class GraphExecutor:
     def _run_world_share(self, task: Any) -> Generator[Any, Any, None]:
         """COMM_OPT: allgather this chunk's decompositions world-wide."""
         kfac = self.kfac
-        metas = [kfac._factor_metas[i] for i in task.payload["metas"]]
+        metas = [self._metas[i] for i in task.payload["metas"]]
         payload = [a for m in metas for a in self._computed.get(m.key, [])]
         dtype = self._transport_dtype if self.plan.pipelined else None
         flat = pack_arrays(payload, dtype=dtype)
@@ -333,9 +385,9 @@ class GraphExecutor:
         """
         kfac = self.kfac
         ranks = tuple(task.payload["ranks"])
-        grp_metas = [kfac._factor_metas[i] for i in task.payload["metas"]]
+        grp_metas = [self._metas[i] for i in task.payload["metas"]]
         member_metas = {
-            r: [m for m in grp_metas if kfac._factor_assignment[m.key] == r]
+            r: [m for m in grp_metas if self._assignment[m.key] == r]
             for r in ranks
         }
         in_group = kfac.rank in ranks
@@ -498,5 +550,18 @@ class GraphExecutor:
         pre = [self._pre[layer.name] for layer in kfac.layers]
         raw = [self._raw[layer.name] for layer in kfac.layers]
         nu = kl_clip_factor(pre, raw, kfac.lr, kfac.hp.kl_clip)
+        ad = getattr(kfac, "_adaptive_damping", None)
+        if ad is not None:
+            # nu is computed from pre-averaged gradients, so every rank sees
+            # the same value and the damping schedule stays in lockstep
+            old = kfac.damping
+            kfac.damping = ad.update(nu)
+            if kfac.damping != old and self.tracer.enabled:
+                self.tracer.instant(
+                    "damping:adapt",
+                    "approx",
+                    kfac.rank,
+                    attrs={"nu": float(nu), "damping": float(kfac.damping)},
+                )
         for layer, p in zip(kfac.layers, pre):
             layer.set_grad_matrix(nu * p)

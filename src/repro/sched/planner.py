@@ -119,6 +119,10 @@ class StepPlan:
     buckets: tuple[tuple[int, ...], ...]
     bucket_bytes: int
     pipelined: bool
+    #: the plan's comm/eig unit is the diagonal *block*, not the factor
+    #: (``KFAC(diag_blocks=k)`` past warmup) — the executor then resolves
+    #: meta indices against the preconditioner's block metas
+    blocked: bool = False
 
 
 def build_step_plan(
@@ -135,6 +139,7 @@ def build_step_plan(
     update_factors: bool = True,
     update_second_order: bool = True,
     pipelined: bool = False,
+    blocked: bool = False,
 ) -> StepPlan:
     """Derive the validated task graph + schedule for one update step.
 
@@ -329,4 +334,5 @@ def build_step_plan(
         buckets=tuple(tuple(b) for b in buckets),
         bucket_bytes=int(bucket_bytes),
         pipelined=bool(pipelined),
+        blocked=bool(blocked),
     )

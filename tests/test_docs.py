@@ -30,6 +30,7 @@ DOCS = REPO / "docs"
 
 PACKAGES = [
     "repro",
+    "repro.approx",
     "repro.comm",
     "repro.core",
     "repro.data",
@@ -145,6 +146,7 @@ DOC_PAGES = sorted(DOCS.glob("*.md")) if DOCS.is_dir() else []
 class TestDocsTree:
     def test_docs_tree_exists_with_required_pages(self):
         required = {
+            "approximation.md",
             "architecture.md",
             "placement.md",
             "precision.md",

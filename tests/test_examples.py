@@ -74,6 +74,19 @@ class TestExamples:
         assert "ResNet-50 time-to-solution" in out
         assert "Table IV" in out
 
+    def test_approximation(self):
+        out = run_example(
+            "approximation.py",
+            "--blocks", "1", "4", "--gpus", "8", "--drift-tol", "0.05",
+        )
+        # the perfmodel FLOP/byte sweep table...
+        assert "diag_blocks" in out and "eig stage (ms)" in out
+        assert "factor wire (MiB)" in out
+        # ...and the drift/damping demo with both verdicts exercised
+        assert "drift trigger" in out
+        assert "| go " in out and "| skip " in out
+        assert "adaptive damping" in out
+
     def test_placement_policy(self):
         out = run_example(
             "placement_policy.py",
