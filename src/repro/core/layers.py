@@ -10,8 +10,11 @@ A handler owns everything K-FAC knows about one supported module:
   ``(d_out, d_in + 1)`` matrix so a single pair of factors preconditions
   both, exactly as the reference implementation does.
 
-Only ``Linear`` and ``Conv2d`` are supported; "all unsupported layers are
-ignored by the K-FAC preconditioner and updated normally" (§V).
+Supported families: ``Linear``, ``Conv2d``, ``Embedding`` (diagonal
+gather-path ``A`` factor), and ``LayerNorm`` (elementwise affine on the
+normalized activations).  Anything else is "ignored by the K-FAC
+preconditioner and updated normally" (§V) — and reported through
+``KFAC.unsupported_layers`` so the skip is never silent.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.core.factors import (
     conv2d_factor_A_from_patches,
     conv2d_factor_G,
     ema_update,
+    embedding_factor_A,
     linear_factor_A,
     linear_factor_G,
 )
@@ -35,9 +39,17 @@ from repro.core.inverse import (
 )
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
+from repro.nn.transformer import Embedding, LayerNorm
 from repro.tensor.workspace import Workspace, default_workspace
 
-__all__ = ["KFACLayer", "LinearKFACLayer", "Conv2dKFACLayer", "make_kfac_layer"]
+__all__ = [
+    "KFACLayer",
+    "LinearKFACLayer",
+    "Conv2dKFACLayer",
+    "EmbeddingKFACLayer",
+    "LayerNormKFACLayer",
+    "make_kfac_layer",
+]
 
 
 class KFACLayer:
@@ -304,6 +316,125 @@ class Conv2dKFACLayer(KFACLayer):
         super()._release_captures()
 
 
+class EmbeddingKFACLayer(KFACLayer):
+    """Handler for :class:`repro.nn.transformer.Embedding`.
+
+    The layer is a Linear over one-hot rows, so ``A`` is the *diagonal*
+    ``diag(bincount(indices)) / rows`` — built straight from the captured
+    index array via :func:`repro.core.factors.embedding_factor_A`; the
+    dense one-hot matrix is never materialized.  ``G`` is the ordinary
+    Linear output-gradient covariance over the ``N*T`` token rows.
+
+    The module's weight is stored ``(num_embeddings, embedding_dim)`` —
+    the transpose of the pipeline's ``(g_dim, a_dim)`` packing — so the
+    grad-matrix accessors transpose both ways.
+    """
+
+    def __init__(
+        self, name: str, module: Embedding, workspace: Workspace | None = None
+    ) -> None:
+        super().__init__(name, module, workspace)
+        self._module: Embedding = module
+
+    @property
+    def a_dim(self) -> int:
+        return self._module.num_embeddings
+
+    @property
+    def g_dim(self) -> int:
+        return self._module.embedding_dim
+
+    def compute_A(self) -> np.ndarray:
+        assert self.a_input is not None
+        return embedding_factor_A(
+            self.a_input,
+            self._module.num_embeddings,
+            dtype=self._module.weight.data.dtype,
+            workspace=self.workspace,
+        )
+
+    def compute_G(self) -> np.ndarray:
+        assert self.g_output is not None
+        g = np.ascontiguousarray(
+            self.g_output.reshape(-1, self._module.embedding_dim)
+        )
+        return linear_factor_G(g, batch_averaged=True, workspace=self.workspace)
+
+    def get_grad_matrix(self) -> np.ndarray:
+        return np.ascontiguousarray(self._module.weight.grad.T)
+
+    def set_grad_matrix(self, mat: np.ndarray) -> None:
+        if mat.shape != (self.g_dim, self.a_dim):
+            raise ValueError(
+                f"layer {self.name}: grad matrix {mat.shape} != "
+                f"({self.g_dim}, {self.a_dim})"
+            )
+        self._module.weight.grad[...] = mat.T
+
+
+class LayerNormKFACLayer(KFACLayer):
+    """Handler for :class:`repro.nn.transformer.LayerNorm`.
+
+    The affine part ``y = w * x_hat + b`` is an *elementwise* Linear over
+    the normalized activations, so the capture uses ``x_hat`` (the
+    module's cache, not the hook's pre-normalization input) with the
+    standard biased Linear factors.  The full ``(d, d+1)`` natural
+    gradient is then projected back onto the feasible set — the diagonal
+    of the weight part plus the bias column — since LayerNorm has only
+    ``2d`` free parameters (see ``docs/workloads.md``).
+    """
+
+    def __init__(
+        self, name: str, module: LayerNorm, workspace: Workspace | None = None
+    ) -> None:
+        super().__init__(name, module, workspace)
+        self._module: LayerNorm = module
+
+    @property
+    def a_dim(self) -> int:
+        return self._module.dim + 1  # weight diagonal + bias column
+
+    @property
+    def g_dim(self) -> int:
+        return self._module.dim
+
+    def save_input(self, x: np.ndarray) -> None:
+        # the hook hands us the pre-normalization input; the affine
+        # parameters act on x_hat, which the module caches in forward
+        x_hat = self._module.cached_normalized
+        self.a_input = x_hat if x_hat is not None else x
+
+    def compute_A(self) -> np.ndarray:
+        assert self.a_input is not None
+        a = np.ascontiguousarray(self.a_input.reshape(-1, self._module.dim))
+        return linear_factor_A(a, has_bias=True, workspace=self.workspace)
+
+    def compute_G(self) -> np.ndarray:
+        assert self.g_output is not None
+        g = np.ascontiguousarray(self.g_output.reshape(-1, self._module.dim))
+        return linear_factor_G(g, batch_averaged=True, workspace=self.workspace)
+
+    def get_grad_matrix(self) -> np.ndarray:
+        d = self._module.dim
+        w_grad = self._module.weight.grad
+        mat = np.zeros((d, d + 1), dtype=w_grad.dtype)
+        idx = np.arange(d)
+        mat[idx, idx] = w_grad
+        mat[:, d] = self._module.bias.grad
+        return mat
+
+    def set_grad_matrix(self, mat: np.ndarray) -> None:
+        if mat.shape != (self.g_dim, self.a_dim):
+            raise ValueError(
+                f"layer {self.name}: grad matrix {mat.shape} != "
+                f"({self.g_dim}, {self.a_dim})"
+            )
+        d = self._module.dim
+        idx = np.arange(d)
+        self._module.weight.grad[...] = mat[idx, idx]
+        self._module.bias.grad[...] = mat[:, d]
+
+
 def make_kfac_layer(
     name: str, module: Module, workspace: Workspace | None = None
 ) -> KFACLayer | None:
@@ -312,4 +443,8 @@ def make_kfac_layer(
         return LinearKFACLayer(name, module, workspace)
     if isinstance(module, Conv2d):
         return Conv2dKFACLayer(name, module, workspace)
+    if isinstance(module, Embedding):
+        return EmbeddingKFACLayer(name, module, workspace)
+    if isinstance(module, LayerNorm):
+        return LayerNormKFACLayer(name, module, workspace)
     return None

@@ -40,6 +40,7 @@ overlapping local second-order compute.
 
 from __future__ import annotations
 
+import sys
 import warnings
 from dataclasses import dataclass, fields
 from typing import Any, Generator, Sequence
@@ -70,6 +71,7 @@ from repro.core.inverse import FactorEig
 from repro.core.layers import KFACLayer, make_kfac_layer
 from repro.nn.module import Module
 from repro.obs.tracer import NULL_TRACER
+from repro.utils.logging import Logger
 
 __all__ = ["KFAC", "KFACHyperParams", "COMM_OPT", "LAYER_WISE", "HYBRID"]
 
@@ -304,6 +306,12 @@ class KFAC:
         This replica's position in the (simulated) worker world.
     hyper:
         Hyper-parameters; keyword overrides are also accepted.
+    logger:
+        Destination for degraded-path warnings — parameterized layers
+        with no K-FAC handler are reported here (and recorded in
+        :attr:`unsupported_layers`) instead of being dropped silently.
+        Defaults to a ``Logger("kfac")`` on stderr; pass
+        ``repro.utils.logging.NULL_LOGGER`` to silence.
 
     Example
     -------
@@ -329,6 +337,7 @@ class KFAC:
         world_size: int = 1,
         hyper: KFACHyperParams | None = None,
         grad_scaler: Any | None = None,
+        logger: Logger | None = None,
         **overrides: Any,
     ) -> None:
         if world_size < 1 or not 0 <= rank < world_size:
@@ -365,13 +374,20 @@ class KFAC:
         self.fac_update_freq = base.fac_update_freq
         self.kfac_update_freq = base.kfac_update_freq
 
+        self.logger = logger if logger is not None else Logger("kfac", stream=sys.stderr)
         self.layers: list[KFACLayer] = []
         self._hook_removers: list = []
+        unsupported: list[tuple[str, str]] = []
         for name, module in model.named_modules():
             if any(s in name for s in base.skip_layers):
                 continue
             handler = make_kfac_layer(name, module)
             if handler is None:
+                if module._parameters:
+                    # parameterized but unhandled: the layer trains
+                    # first-order only — record and warn, never drop it
+                    # silently (the satellite-fixed footgun)
+                    unsupported.append((name, type(module).__name__))
                 continue
             self.layers.append(handler)
             self._hook_removers.append(
@@ -380,8 +396,21 @@ class KFAC:
             self._hook_removers.append(
                 module.register_backward_hook(self._make_backward_hook(handler))
             )
+        #: parameterized layers K-FAC does not precondition, as
+        #: ``(dotted_name, type_name)`` pairs (surfaced by the metrics
+        #: registry as the ``kfac.unsupported_layers`` gauge)
+        self.unsupported_layers: tuple[tuple[str, str], ...] = tuple(unsupported)
+        if self.rank == 0 and unsupported:
+            listing = ", ".join(f"{n} ({t})" for n, t in unsupported)
+            self.logger.warn(
+                f"{len(unsupported)} parameterized layer(s) have no K-FAC "
+                f"handler and will train first-order only: {listing}"
+            )
         if not self.layers:
-            raise ValueError("model has no K-FAC-supported layers (Linear/Conv2d)")
+            raise ValueError(
+                "model has no K-FAC-supported layers "
+                "(Linear/Conv2d/Embedding/LayerNorm)"
+            )
 
         self._factor_metas = self._build_factor_metas()
         self._factor_assignment: dict[str, int] = self._assign_factors()

@@ -15,6 +15,7 @@ from repro.experiments.correctness import run_fig5, run_table1, run_table2_fig4
 from repro.experiments.drift import run_drift_report
 from repro.experiments.profile_exp import run_fig10, run_table5, run_table6
 from repro.experiments.scaling_exp import run_scaling_figure, run_table4
+from repro.experiments.transformer_exp import run_transformer_smoke
 from repro.experiments.update_freq import run_table3_fig6
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
@@ -36,6 +37,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ablation-factor-comm": run_factor_comm_ablation,
     "approximation-sweep": run_approximation_sweep,
     "drift-report": run_drift_report,
+    "transformer-smoke": run_transformer_smoke,
 }
 
 

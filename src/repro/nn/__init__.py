@@ -6,6 +6,12 @@ containers, the ResNet family, cross-entropy with label smoothing — plus the
 module *hook* mechanism K-FAC uses to capture per-layer input activations
 and output gradients ("Hooks are registered to the input and output of each
 layer", §IV-B).
+
+The transformer workload tier (:mod:`repro.nn.transformer`) adds
+``Embedding``, ``LayerNorm``, ``MultiHeadAttention``, ``TransformerBlock``
+and ``TinyTransformer``, with margin/center loss heads in
+:mod:`repro.nn.loss` — the second model family the K-FAC stack
+preconditions (see ``docs/workloads.md``).
 """
 
 from repro.nn.module import Module, Parameter
@@ -21,8 +27,15 @@ from repro.nn.layers import (
     MaxPool2d,
     ReLU,
 )
-from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn.loss import CenterLoss, CrossEntropyLoss, MarginSoftmaxLoss, MSELoss
 from repro.nn.metrics import topk_accuracy
+from repro.nn.transformer import (
+    Embedding,
+    LayerNorm,
+    MultiHeadAttention,
+    TinyTransformer,
+    TransformerBlock,
+)
 from repro.nn.resnet import (
     ResNetConfig,
     build_resnet,
@@ -47,8 +60,15 @@ __all__ = [
     "GlobalAvgPool2d",
     "Flatten",
     "Identity",
+    "Embedding",
+    "LayerNorm",
+    "MultiHeadAttention",
+    "TransformerBlock",
+    "TinyTransformer",
     "CrossEntropyLoss",
     "MSELoss",
+    "MarginSoftmaxLoss",
+    "CenterLoss",
     "topk_accuracy",
     "ResNetConfig",
     "build_resnet",

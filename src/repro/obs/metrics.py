@@ -281,6 +281,16 @@ class MetricsRegistry:
             self.counter("kfac.drift_skips").inc(
                 getattr(first, "n_drift_skips", 0)
             )
+            # parameterized-but-unpreconditioned layers (identical across
+            # replicas): total plus a per-type breakdown
+            unsupported = getattr(first, "unsupported_layers", ())
+            gauge = self.gauge("kfac.unsupported_layers")
+            gauge.set(len(unsupported))
+            by_type: dict[str, int] = {}
+            for _name, type_name in unsupported:
+                by_type[type_name] = by_type.get(type_name, 0) + 1
+            for type_name in sorted(by_type):
+                gauge.set(by_type[type_name], kind=type_name)
 
     def collect_driver(self, driver) -> None:
         """Fold a driver's retry/fallback tallies in."""

@@ -1,11 +1,13 @@
-"""Symbolic K-FAC layer specs for the ResNet family.
+"""Symbolic K-FAC layer specs for the ResNet and transformer families.
 
-Walks the architecture definitions from :mod:`repro.nn.resnet` *without
-instantiating weights* and yields, per K-FAC-supported layer, the factor
-dimensions and spatial extent — everything the cost model and the
-assignment-imbalance analysis (Table VI) need.  Using the genuine
-ResNet-50/101/152 shapes is what makes the reproduced imbalance numbers
-meaningful.
+Walks the architecture definitions from :mod:`repro.nn.resnet` (and the
+:mod:`repro.nn.transformer` layout) *without instantiating weights* and
+yields, per K-FAC-supported layer, the factor dimensions and positional
+extent — everything the cost model and the assignment-imbalance analysis
+(Table VI) need.  Using the genuine ResNet-50/101/152 shapes is what
+makes the reproduced imbalance numbers meaningful; ``transformer_spec``
+prices the embedding/attention workload, whose wide vocabulary factor is
+the showcase for ``KFAC(diag_blocks=k)``.
 """
 
 from __future__ import annotations
@@ -17,7 +19,13 @@ from repro.comm.fusion import block_tri_len, tri_len
 from repro.nn.resnet import IMAGENET_DEPTH_CONFIGS
 from repro.tensor.im2col import conv_out_size
 
-__all__ = ["KfacLayerSpec", "ModelSpec", "resnet_spec", "cifar_resnet_spec"]
+__all__ = [
+    "KfacLayerSpec",
+    "ModelSpec",
+    "resnet_spec",
+    "cifar_resnet_spec",
+    "transformer_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -29,14 +37,17 @@ class KfacLayerSpec:
     name:
         Dotted layer path.
     kind:
-        ``"conv"`` or ``"linear"``.
+        ``"conv"``, ``"linear"``, ``"embedding"``, or ``"layernorm"``.
     a_dim:
-        Activation-factor dimension (``C_in*kh*kw`` for conv, ``in+1`` for
-        the biased linear classifier).
+        Activation-factor dimension (``C_in*kh*kw`` for conv, ``in+1``
+        for a biased linear, the vocabulary size for an embedding,
+        ``d+1`` for LayerNorm's elementwise affine).
     g_dim:
-        Gradient-factor dimension (``C_out`` / ``out``).
+        Gradient-factor dimension (``C_out`` / ``out`` / embedding dim).
     spatial_positions:
-        ``L = OH*OW`` of the layer output (1 for linear) — enters the
+        Positions per example sharing the factors: ``L = OH*OW`` of a
+        conv output, the sequence length ``T`` for per-token transformer
+        layers, 1 for a plain linear head — enters the
         factor-computation cost.
     weight_params:
         Scalar parameter count (weight + bias).
@@ -246,15 +257,41 @@ class _SpecBuilder:
     def bn(self, channels: int) -> None:
         self.bn_params += 2 * channels
 
-    def linear(self, name: str, in_f: int, out_f: int) -> None:
+    def linear(self, name: str, in_f: int, out_f: int, positions: int = 1) -> None:
         self.layers.append(
             KfacLayerSpec(
                 name=name,
                 kind="linear",
                 a_dim=in_f + 1,
                 g_dim=out_f,
-                spatial_positions=1,
+                spatial_positions=positions,
                 weight_params=out_f * in_f + out_f,
+            )
+        )
+
+    def embedding(self, name: str, vocab: int, dim: int, positions: int) -> None:
+        """An embedding table: ``A`` is (vocab, vocab), ``G`` is (dim, dim)."""
+        self.layers.append(
+            KfacLayerSpec(
+                name=name,
+                kind="embedding",
+                a_dim=vocab,
+                g_dim=dim,
+                spatial_positions=positions,
+                weight_params=vocab * dim,
+            )
+        )
+
+    def layernorm(self, name: str, dim: int, positions: int) -> None:
+        """LayerNorm's elementwise affine: biased (d+1, d+1) / (d, d)."""
+        self.layers.append(
+            KfacLayerSpec(
+                name=name,
+                kind="layernorm",
+                a_dim=dim + 1,
+                g_dim=dim,
+                spatial_positions=positions,
+                weight_params=2 * dim,
             )
         )
 
@@ -307,6 +344,54 @@ def resnet_spec(depth: int, input_size: int = 224, num_classes: int = 1000) -> M
                 b.bn(out_c)
             in_c = out_c
     b.linear("fc", in_c, num_classes)
+    return b.build()
+
+
+def transformer_spec(
+    vocab_size: int = 4096,
+    seq_len: int = 128,
+    dim: int = 256,
+    num_heads: int = 4,
+    depth: int = 4,
+    num_classes: int = 10,
+    hidden_mult: int = 2,
+) -> ModelSpec:
+    """K-FAC spec of a :class:`repro.nn.transformer.TinyTransformer`.
+
+    Walks the model in registration order: token/positional embeddings,
+    per block the pre-LN norms, the four attention projections and the
+    two MLP linears, then the final norm and classifier head.  The token
+    embedding's ``(vocab, vocab)`` activation factor is by far the widest
+    — the natural first customer of ``KFAC(diag_blocks=k)``, which is why
+    ``block_bounds`` splits it first.
+
+    Example
+    -------
+    >>> from repro.perfmodel.specs import transformer_spec
+    >>> spec = transformer_spec(vocab_size=1024, depth=2)
+    >>> spec.kfac_layers[0].a_dim                # token embedding factor
+    1024
+    >>> max(hi - lo for b in spec.block_bounds(4) for lo, hi in b)
+    256
+    >>> len(spec.kfac_layers)                    # 2 emb + 2*8 + norm + head
+    20
+    """
+    if dim % num_heads != 0:
+        raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+    b = _SpecBuilder(f"transformer-L{depth}-d{dim}")
+    b.embedding("tok_embed", vocab_size, dim, positions=seq_len)
+    b.embedding("pos_embed", seq_len, dim, positions=seq_len)
+    hidden = dim * hidden_mult
+    for i in range(depth):
+        prefix = f"blocks.m{i}"
+        b.layernorm(f"{prefix}.norm1", dim, positions=seq_len)
+        for proj in ("q_proj", "k_proj", "v_proj", "out_proj"):
+            b.linear(f"{prefix}.attn.{proj}", dim, dim, positions=seq_len)
+        b.layernorm(f"{prefix}.norm2", dim, positions=seq_len)
+        b.linear(f"{prefix}.fc1", dim, hidden, positions=seq_len)
+        b.linear(f"{prefix}.fc2", hidden, dim, positions=seq_len)
+    b.layernorm("final_norm", dim, positions=seq_len)
+    b.linear("head", dim, num_classes)
     return b.build()
 
 

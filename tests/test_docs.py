@@ -154,6 +154,7 @@ class TestDocsTree:
             "perfmodel.md",
             "scheduler.md",
             "elasticity.md",
+            "workloads.md",
         }
         present = {p.name for p in DOC_PAGES}
         assert required <= present, f"missing docs pages: {required - present}"

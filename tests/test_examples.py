@@ -87,6 +87,14 @@ class TestExamples:
         assert "| go " in out and "| skip " in out
         assert "adaptive damping" in out
 
+    def test_transformer(self):
+        out = run_example("transformer.py", "--workers", "2", "--steps", "6")
+        assert "transformer-smoke" in out
+        assert "loss decreased" in out
+        assert "gather fast path, no dense one-hot" in out
+        assert "embedding A eigendecomposition is blocked" in out
+        assert "unsupported (first-order-only) layers: 0" in out
+
     def test_placement_policy(self):
         out = run_example(
             "placement_policy.py",

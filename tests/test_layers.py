@@ -16,7 +16,21 @@ from repro.nn.layers import (
     MaxPool2d,
     ReLU,
 )
+from repro.nn.transformer import (
+    Embedding,
+    LayerNorm,
+    MultiHeadAttention,
+    TinyTransformer,
+    TransformerBlock,
+)
 from tests.conftest import numerical_gradient
+
+
+def cast_params64(module):
+    """Promote every parameter to float64 for tight gradient checks."""
+    for _, p in module.named_parameters():
+        p.data = p.data.astype(np.float64)
+        p.grad = np.zeros_like(p.data)
 
 
 def check_input_grad(layer, x, rtol=2e-3, atol=2e-4):
@@ -222,6 +236,140 @@ class TestPooling:
         x = rng.normal(size=(3, 4, 5, 5)).astype(np.float32)
         np.testing.assert_allclose(pool.forward(x), x.mean(axis=(2, 3)), rtol=1e-6)
         check_input_grad(pool, rng.normal(size=(2, 3, 4, 4)))
+
+
+class TestLayerNorm:
+    def test_forward_normalizes_last_axis(self, rng):
+        ln = LayerNorm(6)
+        x = rng.normal(3.0, 2.0, size=(4, 5, 6)).astype(np.float32)
+        out = ln.forward(x)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, rtol=1e-3)
+
+    def test_rejects_wrong_trailing_dim(self, rng):
+        with pytest.raises(ValueError):
+            LayerNorm(5).forward(rng.normal(size=(2, 4)))
+
+    def test_input_grad(self, rng):
+        ln = LayerNorm(5)
+        cast_params64(ln)
+        ln.weight.data = rng.normal(1.0, 0.2, size=5)
+        ln.bias.data = rng.normal(0.0, 0.2, size=5)
+        check_input_grad(ln, rng.normal(size=(3, 4, 5)), rtol=5e-3, atol=5e-4)
+
+    def test_affine_grads(self, rng):
+        ln = LayerNorm(5)
+        check_param_grad(ln, rng.normal(size=(3, 4, 5)), ln.weight, rtol=5e-3)
+        ln2 = LayerNorm(5)
+        check_param_grad(ln2, rng.normal(size=(3, 4, 5)), ln2.bias, rtol=5e-3)
+
+    def test_caches_normalized_activations(self, rng):
+        ln = LayerNorm(4)
+        x = rng.normal(size=(2, 3, 4)).astype(np.float32)
+        assert ln.cached_normalized is None
+        ln.forward(x)
+        x_hat = ln.cached_normalized
+        assert x_hat is not None and x_hat.shape == x.shape
+        np.testing.assert_allclose(x_hat.mean(axis=-1), 0.0, atol=1e-5)
+
+
+class TestEmbedding:
+    def test_forward_gathers_rows(self, rng):
+        emb = Embedding(7, 3, rng=rng)
+        idx = np.array([[0, 6], [2, 2]])
+        out = emb.forward(idx)
+        np.testing.assert_array_equal(out, emb.weight.data[idx])
+
+    def test_rejects_float_indices(self, rng):
+        with pytest.raises(ValueError):
+            Embedding(5, 2, rng=rng).forward(np.array([0.0, 1.0]))
+
+    def test_weight_grad_matches_numerical(self, rng):
+        """check_param_grad casts inputs to float64, which an integer-index
+        layer rejects — so run the same central-difference check by hand."""
+        emb = Embedding(6, 4, rng=rng)
+        cast_params64(emb)
+        idx = rng.integers(0, 6, size=(3, 5))
+
+        def loss():
+            return 0.5 * float((emb.forward(idx) ** 2).sum())
+
+        out = emb.forward(idx)
+        emb.weight.zero_grad()
+        emb.backward(out)
+        numeric = numerical_gradient(loss, emb.weight.data)
+        np.testing.assert_allclose(emb.weight.grad, numeric, rtol=2e-3, atol=2e-4)
+
+    def test_repeated_indices_accumulate(self, rng):
+        emb = Embedding(4, 2, rng=rng)
+        idx = np.array([1, 1, 1])
+        emb.forward(idx)
+        emb.backward(np.ones((3, 2), dtype=np.float32))
+        np.testing.assert_allclose(emb.weight.grad[1], [3.0, 3.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestMultiHeadAttention:
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2, rng=rng)  # dim not divisible by heads
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        with pytest.raises(ValueError):
+            mha.forward(rng.normal(size=(2, 8)).astype(np.float32))
+
+    def test_input_grad(self, rng):
+        mha = MultiHeadAttention(6, 2, rng=rng)
+        cast_params64(mha)
+        check_input_grad(mha, rng.normal(size=(2, 3, 6)), rtol=5e-3, atol=5e-4)
+
+    def test_projection_param_grads(self, rng):
+        for pick in ("q_proj", "k_proj", "v_proj", "out_proj"):
+            mha = MultiHeadAttention(4, 2, rng=rng)
+            check_param_grad(
+                mha, rng.normal(size=(2, 3, 4)), getattr(mha, pick).weight,
+                rtol=5e-3, atol=5e-4,
+            )
+
+
+class TestTransformerBlock:
+    def test_input_grad(self, rng):
+        blk = TransformerBlock(4, num_heads=2, rng=rng)
+        cast_params64(blk)
+        check_input_grad(blk, rng.normal(size=(2, 3, 4)), rtol=5e-3, atol=5e-4)
+
+    def test_param_grads_through_residuals(self, rng):
+        for pick in (
+            lambda b: b.norm1.weight,
+            lambda b: b.attn.q_proj.weight,
+            lambda b: b.fc1.weight,
+            lambda b: b.fc2.bias,
+        ):
+            blk = TransformerBlock(4, num_heads=2, rng=rng)
+            cast_params64(blk)
+            check_param_grad(
+                blk, rng.normal(size=(2, 3, 4)), pick(blk), rtol=5e-3, atol=5e-4
+            )
+
+
+class TestTinyTransformer:
+    def test_embedding_grads_match_numerical(self, rng):
+        model = TinyTransformer(
+            vocab_size=8, seq_len=4, dim=4, num_heads=2, depth=1,
+            num_classes=3, rng=rng,
+        )
+        cast_params64(model)
+        tokens = rng.integers(0, 8, size=(3, 4))
+
+        def loss():
+            return 0.5 * float((model.forward(tokens) ** 2).sum())
+
+        out = model.forward(tokens)
+        for _, p in model.named_parameters():
+            p.zero_grad()
+        model.backward(out)
+        for param in (model.tok_embed.weight, model.head.weight):
+            numeric = numerical_gradient(loss, param.data)
+            np.testing.assert_allclose(param.grad, numeric, rtol=5e-3, atol=5e-4)
 
 
 class TestShapes:

@@ -5,7 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn.loss import CrossEntropyLoss, MSELoss, log_softmax, softmax
+from repro.nn.loss import (
+    CenterLoss,
+    CrossEntropyLoss,
+    MarginSoftmaxLoss,
+    MSELoss,
+    log_softmax,
+    softmax,
+)
 from repro.nn.metrics import confusion_counts, topk_accuracy
 from tests.conftest import numerical_gradient
 
@@ -63,6 +70,105 @@ class TestCrossEntropy:
     def test_backward_before_forward_raises(self):
         with pytest.raises(AssertionError):
             CrossEntropyLoss().backward()
+
+
+class TestMarginSoftmax:
+    def test_zero_margin_unit_scale_is_cross_entropy(self, rng):
+        logits = rng.normal(size=(5, 4)).astype(np.float64)
+        targets = np.array([0, 3, 1, 2, 2])
+        margin = MarginSoftmaxLoss(margin=0.0, scale=1.0)
+        ce = CrossEntropyLoss()
+        assert margin(logits, targets) == pytest.approx(
+            ce(logits, targets), rel=1e-12
+        )
+        np.testing.assert_allclose(
+            margin.backward(), ce.backward(), rtol=1e-12, atol=1e-15
+        )
+
+    def test_margin_penalizes_target_logit(self, rng):
+        logits = rng.normal(size=(4, 3)).astype(np.float64)
+        targets = np.array([0, 1, 2, 0])
+        plain = MarginSoftmaxLoss(margin=0.0, scale=5.0)(logits, targets)
+        hard = MarginSoftmaxLoss(margin=0.5, scale=5.0)(logits, targets)
+        assert hard > plain
+
+    def test_backward_matches_numerical(self, rng):
+        """Float64 central differences on the exact backward."""
+        loss = MarginSoftmaxLoss(margin=0.35, scale=10.0)
+        logits = rng.normal(size=(3, 5)).astype(np.float64)
+        targets = np.array([1, 4, 0])
+
+        def f():
+            return loss(logits, targets)
+
+        f()
+        analytic = loss.backward()
+        numeric = numerical_gradient(f, logits)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            MarginSoftmaxLoss(margin=-0.1)
+        with pytest.raises(ValueError):
+            MarginSoftmaxLoss(scale=0.0)
+        loss = MarginSoftmaxLoss()
+        with pytest.raises(ValueError):
+            loss(rng.normal(size=(3,)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            loss(rng.normal(size=(3, 2)), np.zeros(4, dtype=int))
+        with pytest.raises(AssertionError):
+            MarginSoftmaxLoss().backward()
+
+
+class TestCenterLoss:
+    def test_value_matches_manual(self, rng):
+        loss = CenterLoss(num_classes=3, feature_dim=4)
+        loss.centers = rng.normal(size=(3, 4)).astype(np.float64)
+        f = rng.normal(size=(5, 4)).astype(np.float64)
+        y = np.array([0, 2, 1, 0, 2])
+        want = 0.5 * ((f - loss.centers[y]) ** 2).sum() / 5
+        assert loss(f, y) == pytest.approx(want, rel=1e-12)
+
+    def test_backward_matches_numerical(self, rng):
+        loss = CenterLoss(num_classes=3, feature_dim=4)
+        loss.centers = rng.normal(size=(3, 4)).astype(np.float64)
+        features = rng.normal(size=(6, 4)).astype(np.float64)
+        targets = rng.integers(0, 3, size=6)
+
+        def f():
+            return loss(features, targets)
+
+        f()
+        analytic = loss.backward()
+        numeric = numerical_gradient(f, features)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-6, atol=1e-9)
+
+    def test_update_centers_moves_toward_batch_mean(self, rng):
+        loss = CenterLoss(num_classes=2, feature_dim=3, alpha=1.0)
+        f = np.vstack([np.full((4, 3), 2.0), np.full((2, 3), -1.0)])
+        y = np.array([0, 0, 0, 0, 1, 1])
+        loss(f.astype(np.float64), y)
+        loss.update_centers()
+        # count-damped step: alpha * sum(diff) / (1 + count)
+        np.testing.assert_allclose(loss.centers[0], 4 * 2.0 / 5 * np.ones(3))
+        np.testing.assert_allclose(loss.centers[1], 2 * -1.0 / 3 * np.ones(3))
+
+    def test_unseen_class_center_stays_put(self, rng):
+        loss = CenterLoss(num_classes=3, feature_dim=2)
+        loss(rng.normal(size=(4, 2)), np.array([0, 0, 1, 1]))
+        loss.update_centers()
+        np.testing.assert_array_equal(loss.centers[2], np.zeros(2))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            CenterLoss(2, 3, alpha=0.0)
+        loss = CenterLoss(2, 3)
+        with pytest.raises(ValueError):
+            loss(rng.normal(size=(2, 4)), np.zeros(2, dtype=int))
+        with pytest.raises(ValueError):
+            loss(rng.normal(size=(2, 3)), np.zeros(3, dtype=int))
+        with pytest.raises(AssertionError):
+            CenterLoss(2, 3).backward()
 
 
 class TestMSE:
